@@ -1,0 +1,60 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §5.
+
+The paper's tool fixes one chunking granularity and one MPI protocol; this
+harness quantifies how sensitive the headline result (ideal-pattern speedup
+at the reference bandwidth) is to those choices, using NAS-BT as the
+representative stencil code.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner, reference_platform
+from repro.apps import NasBT
+from repro.core.ablation import chunk_size_ablation, cpu_speed_ablation, eager_threshold_ablation
+from repro.core.reporting import format_table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_chunk_size_eager_threshold_cpu_speed(benchmark):
+    app = NasBT(num_ranks=16, iterations=2)
+    platform = reference_platform()
+
+    def run():
+        return {
+            "chunk_size": chunk_size_ablation(
+                app, chunk_sizes=(4096, 16384, 65536, 262144), platform=platform),
+            "eager_threshold": eager_threshold_ablation(
+                app, thresholds=(0, 16384, 65536, 1 << 20), platform=platform),
+            "cpu_speed": cpu_speed_ablation(
+                app, cpu_speeds=(0.5, 1.0, 2.0, 4.0), platform=platform),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner("Ablation: sensitivity of the NAS-BT ideal-pattern speedup")
+    for study_name, table in results.items():
+        rows = [[key, f"{value:.3f}x"] for key, value in table.items()]
+        print()
+        print(format_table([study_name, "speedup"], rows))
+
+    chunk = results["chunk_size"]
+    # Chunks around the eager threshold work well; one huge chunk degenerates
+    # towards the original execution.
+    assert chunk[16384] > chunk[262144] - 0.02
+    assert chunk[16384] > 1.15
+
+    eager = results["eager_threshold"]
+    # An all-rendezvous MPI removes most of the early-send benefit.
+    assert eager[1 << 20] >= eager[0]
+    assert eager[65536] > 1.15
+
+    cpu = results["cpu_speed"]
+    # Faster CPUs make the same network relatively slower: the overlap benefit
+    # grows from the compute-bound end, peaks where communication and
+    # computation balance, and every configuration stays close to or above
+    # the original execution.
+    speeds = sorted(cpu)
+    values = [cpu[speed] for speed in speeds]
+    assert values[0] == min(values)
+    assert max(values) > values[0] + 0.1
+    assert all(value > 0.95 for value in values)

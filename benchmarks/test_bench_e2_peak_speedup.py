@@ -1,0 +1,41 @@
+"""E2 -- Section III: ideal-pattern speedups at intermediate bandwidth.
+
+The paper reports, for the ideal (sequential) computation pattern at
+intermediate bandwidths, speedups of about 30 % (NAS-BT), 10 % (NAS-CG),
+10 % (POP), 40 % (Alya), 65 % (SPECFEM) and 160 % (Sweep3D).  This benchmark
+regenerates that list on the reference platform (250 MB/s, 5 us) and checks
+the ordering and the approximate factors.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_SPEEDUP_PERCENT, print_banner
+from repro.core.reporting import format_table
+
+
+@pytest.mark.benchmark(group="e2-peak-speedup")
+def test_e2_ideal_pattern_speedups(benchmark, studies):
+    measured = benchmark.pedantic(
+        lambda: {name: study.improvement_percent("ideal")
+                 for name, study in studies.items()},
+        rounds=1, iterations=1)
+
+    print_banner("E2: overlap speedup with the ideal pattern at intermediate bandwidth")
+    rows = []
+    for name in sorted(measured, key=lambda n: PAPER_SPEEDUP_PERCENT[n]):
+        rows.append([name, f"{PAPER_SPEEDUP_PERCENT[name]:.0f}%",
+                     f"{measured[name]:.1f}%"])
+    print(format_table(["application", "paper", "measured"], rows))
+
+    # Expected ordering: CG ~= POP < BT < Alya < SPECFEM < Sweep3D.
+    assert measured["nas-cg"] < measured["nas-bt"] < measured["alya"]
+    assert measured["alya"] < measured["specfem"] < measured["sweep3d"]
+    assert abs(measured["pop"] - measured["nas-cg"]) < 10.0
+
+    # Approximate factors (generous windows around the paper's numbers).
+    assert 15.0 <= measured["nas-bt"] <= 45.0
+    assert 3.0 <= measured["nas-cg"] <= 20.0
+    assert 3.0 <= measured["pop"] <= 20.0
+    assert 25.0 <= measured["alya"] <= 55.0
+    assert 45.0 <= measured["specfem"] <= 85.0
+    assert 120.0 <= measured["sweep3d"] <= 220.0

@@ -1,0 +1,44 @@
+"""E3 -- Section III: the real (measured) pattern leaves negligible overlap.
+
+"We found that the overlapping potential can be very limited by [the]
+pattern by which the processes internally compute on the data involved in
+communication.  Considering the real computation patterns, the potential for
+automatic overlap in the applications is negligible."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.core.reporting import format_table
+
+
+@pytest.mark.benchmark(group="e3-real-vs-ideal")
+def test_e3_real_pattern_gain_is_negligible(benchmark, studies):
+    measured = benchmark.pedantic(
+        lambda: {name: (study.improvement_percent("real"),
+                        study.improvement_percent("ideal"))
+                 for name, study in studies.items()},
+        rounds=1, iterations=1)
+
+    print_banner("E3: real (measured) pattern vs ideal (sequential) pattern")
+    rows = [[name, f"{real:.1f}%", f"{ideal:.1f}%",
+             f"{ideal / real:.1f}x" if real > 0.5 else ">10x"]
+            for name, (real, ideal) in sorted(measured.items())]
+    print(format_table(["application", "real pattern", "ideal pattern",
+                        "ideal / real"], rows))
+
+    total_real = sum(real for real, _ in measured.values())
+    total_ideal = sum(ideal for _, ideal in measured.values())
+    for name, (real, ideal) in measured.items():
+        # The real-pattern benefit is small in absolute terms ...
+        assert real < 12.0, f"{name}: real-pattern gain {real:.1f}% is not negligible"
+        # ... and below what the ideal pattern achieves for the same code.
+        assert ideal > real, (
+            f"{name}: ideal ({ideal:.1f}%) does not dominate real ({real:.1f}%)")
+        # Applications with a large ideal-pattern potential lose most of it
+        # under the measured pattern.
+        if ideal > 20.0:
+            assert ideal > 2.5 * real, (
+                f"{name}: ideal ({ideal:.1f}%) vs real ({real:.1f}%)")
+    # Aggregated over the six applications the contrast is stark.
+    assert total_ideal > 3.0 * total_real

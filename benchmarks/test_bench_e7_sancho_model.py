@@ -1,0 +1,61 @@
+"""E7 -- Section I/II: simulation versus Sancho's analytical model.
+
+The paper positions its simulation methodology against the analytical
+estimate of Sancho et al. [1], which models an application as a single
+iterative loop and predicts the overlap benefit from the computation and
+communication times alone.  This benchmark runs the synthetic Sancho loop
+across a range of communication/computation ratios and compares the
+simulated ideal-pattern speedup against the analytical bound
+``(Tcomp + Tcomm) / max(Tcomp, Tcomm)``.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner, reference_platform
+from repro.apps import SanchoLoop
+from repro.core import OverlapStudyEnvironment
+from repro.core.analysis import sancho_overlap_bound
+from repro.core.reporting import format_table
+
+#: Message sizes spanning comm << comp up to comm > comp at 250 MB/s.
+MESSAGE_SIZES = [20_000, 60_000, 120_000, 250_000, 500_000]
+
+
+@pytest.mark.benchmark(group="e7-sancho-model")
+def test_e7_simulation_versus_analytical_model(benchmark):
+    platform = reference_platform()
+    environment = OverlapStudyEnvironment(platform=platform)
+
+    def run():
+        results = []
+        for size in MESSAGE_SIZES:
+            app = SanchoLoop(num_ranks=8, iterations=4, message_bytes=size,
+                             instructions_per_iteration=2.0e6)
+            study = environment.study(app)
+            bound = sancho_overlap_bound(
+                app.compute_time(),
+                app.communication_time(platform.bandwidth_mbps, platform.latency))
+            results.append((size, bound, study.speedup("ideal"), study.speedup("real")))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner("E7: Sancho analytical bound vs simulated overlap speedup")
+    rows = [[size, f"{bound:.3f}x", f"{ideal:.3f}x", f"{real:.3f}x"]
+            for size, bound, ideal, real in results]
+    print(format_table(["message bytes", "analytical bound", "simulated ideal",
+                        "simulated real"], rows))
+
+    for size, bound, ideal, real in results:
+        # The simulation tracks the analytical model: same order of
+        # magnitude, never wildly above it.
+        assert ideal <= bound * 1.25
+        assert ideal >= 1.0 + 0.35 * (bound - 1.0)
+        # The measured-pattern run stays near 1 regardless of the ratio.
+        assert real < 1.15
+    # Both the model and the simulation peak where communication time is
+    # comparable to computation time (the intermediate region); the two peak
+    # positions agree to within one sweep step.
+    bounds = [bound for _, bound, _, _ in results]
+    ideals = [ideal for _, _, ideal, _ in results]
+    assert abs(bounds.index(max(bounds)) - ideals.index(max(ideals))) <= 1

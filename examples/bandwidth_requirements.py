@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Study how overlap relaxes the network-bandwidth requirement (paper §III).
+
+The script sweeps the network bandwidth for one application, prints the
+speedup-versus-bandwidth curve of the overlapped execution, and then answers
+the paper's final question: what bandwidth does the overlapped execution
+need to deliver the performance the original execution only reaches on a
+very fast network?
+
+Run with::
+
+    python examples/bandwidth_requirements.py [--app nas-bt] [--samples 8]
+"""
+
+import argparse
+
+from repro.apps.registry import APPLICATIONS, create_application
+from repro.core import ComputationPattern, OverlapStudyEnvironment
+from repro.core.analysis import ORIGINAL, geometric_bandwidths
+from repro.core.reporting import sweep_table
+from repro.core.sweeps import run_bandwidth_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="nas-bt", choices=sorted(APPLICATIONS))
+    parser.add_argument("--ranks", type=int, default=16)
+    parser.add_argument("--min-bandwidth", type=float, default=4.0)
+    parser.add_argument("--max-bandwidth", type=float, default=16384.0)
+    parser.add_argument("--samples", type=int, default=8)
+    args = parser.parse_args()
+
+    app = create_application(args.app, num_ranks=args.ranks)
+    bandwidths = geometric_bandwidths(args.min_bandwidth, args.max_bandwidth,
+                                      args.samples)
+    print(f"sweeping {args.app} over {args.samples} bandwidths "
+          f"({args.min_bandwidth:.0f} .. {args.max_bandwidth:.0f} MB/s) ...")
+    sweep = run_bandwidth_sweep(app, bandwidths,
+                                patterns=(ComputationPattern.REAL,
+                                          ComputationPattern.IDEAL),
+                                environment=OverlapStudyEnvironment())
+
+    print()
+    print(sweep_table(sweep))
+    print()
+
+    peak_bandwidth, peak = sweep.peak_speedup("ideal")
+    print(f"peak ideal-pattern speedup: {peak:.3f}x at {peak_bandwidth:.1f} MB/s")
+    print(f"intermediate bandwidth (comm ~ comp): "
+          f"{sweep.intermediate_bandwidth():.1f} MB/s")
+
+    reference = bandwidths[-1]
+    target = sweep.point_at(reference).time(ORIGINAL)
+    needed = sweep.bandwidth_for_time(target * 1.02, "ideal")
+    factor = sweep.bandwidth_reduction_factor("ideal", tolerance=0.02)
+    print()
+    print(f"original execution time at {reference:.0f} MB/s: {target * 1e3:.3f} ms")
+    if needed is not None:
+        print(f"the overlapped execution reaches that performance with only "
+              f"{needed:.1f} MB/s")
+        print(f"-> the network can be {factor:.1f}x slower without losing performance")
+    else:
+        print("the overlapped execution cannot reach that performance in the "
+              "swept range")
+
+
+if __name__ == "__main__":
+    main()

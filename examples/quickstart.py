@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: measure how much an application can gain from automatic overlap.
+
+The script walks through the three stages of the simulation environment
+(paper Figure 1) on the smallest interesting workload:
+
+1. trace the application on the tracing virtual machine,
+2. generate the potential (overlapped) traces for the real and the ideal
+   computation patterns,
+3. replay all traces with the Dimemas-like simulator and compare the
+   reconstructed time behaviours.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.apps import SanchoLoop
+from repro.core import ComputationPattern, OverlapStudyEnvironment
+from repro.dimemas import Platform
+
+
+def main() -> None:
+    # A realistic 2010-era platform: 250 MB/s links, 5 us latency.
+    platform = Platform(name="quickstart", bandwidth_mbps=250.0, latency=5.0e-6)
+    environment = OverlapStudyEnvironment(platform=platform)
+
+    # The Sancho-style loop: compute 2 ms per iteration, then exchange
+    # 100 KB with each of the two ring neighbours.
+    app = SanchoLoop(num_ranks=8, iterations=6, message_bytes=100_000,
+                     instructions_per_iteration=2.0e6)
+
+    # Stage 1: the tracing tool.
+    original_trace = environment.trace(app)
+    print(f"traced {app.name}: {original_trace.describe()['records']} records, "
+          f"{original_trace.total_messages()} messages")
+
+    # Stage 2: the overlap transformation (both patterns).
+    ideal_trace = environment.overlap(original_trace,
+                                      pattern=ComputationPattern.IDEAL)
+    real_trace = environment.overlap(original_trace,
+                                     pattern=ComputationPattern.REAL)
+
+    # Stage 3: replay on the configurable platform.
+    original = environment.simulate(original_trace, label="original")
+    ideal = environment.simulate(ideal_trace, label="overlapped (ideal)")
+    real = environment.simulate(real_trace, label="overlapped (real)")
+
+    print()
+    print(f"original execution:           {original.total_time * 1e3:8.3f} ms "
+          f"(communication fraction {original.communication_fraction() * 100:.1f} %)")
+    print(f"overlapped, real pattern:     {real.total_time * 1e3:8.3f} ms "
+          f"-> speedup {original.total_time / real.total_time:.3f}x")
+    print(f"overlapped, ideal pattern:    {ideal.total_time * 1e3:8.3f} ms "
+          f"-> speedup {original.total_time / ideal.total_time:.3f}x")
+
+    # The same thing in one call, plus the qualitative comparison.
+    study = environment.study(app)
+    print()
+    print(study.summary())
+    print()
+    print(study.gantt("ideal", width=60))
+
+
+if __name__ == "__main__":
+    main()

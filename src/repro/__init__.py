@@ -1,0 +1,49 @@
+"""repro -- reproduction of the ISPASS 2010 overlap-of-communication-and-computation study.
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.des``
+    A small discrete-event-simulation kernel (events, generator-based
+    processes, resources) on which the replay simulator is built.
+``repro.tracing``
+    The tracing tool: a deterministic per-rank virtual machine that executes
+    application models and records instruction-counted computation bursts,
+    communication records and the memory-access (production/consumption)
+    patterns on communication buffers.
+``repro.mpi``
+    Synthetic MPI abstractions: communicators, datatypes, requests,
+    topologies and a cross-rank trace-matching validator.
+``repro.apps``
+    Parameterised synthetic application models (NAS BT, NAS CG, Sweep3D,
+    POP, Alya, SPECFEM and a Sancho-style synthetic loop).
+``repro.dimemas``
+    The trace-driven network replay simulator with the Dimemas machine model
+    (relative CPU speed, latency, bandwidth, buses, links, eager/rendezvous,
+    collective cost models).
+``repro.paraver``
+    State/communication timelines, ``.prv`` export, ASCII Gantt rendering and
+    timeline comparison.
+``repro.core``
+    The overlap study itself: chunking policies, computation-pattern models,
+    overlap mechanisms, the trace transformation that produces the overlapped
+    traces, the study environment facade, analysis and parameter sweeps.
+"""
+
+from repro._version import __version__
+from repro.core.environment import OverlapStudyEnvironment
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.patterns import ComputationPattern
+from repro.dimemas.platform import Platform
+from repro.dimemas.simulator import DimemasSimulator
+from repro.tracing.machine import TracingVirtualMachine
+
+__all__ = [
+    "__version__",
+    "OverlapStudyEnvironment",
+    "OverlapMechanism",
+    "ComputationPattern",
+    "Platform",
+    "DimemasSimulator",
+    "TracingVirtualMachine",
+]

@@ -1,0 +1,6 @@
+"""Allow running the CLI via ``python -m repro``."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Synthetic application models.
+
+The paper evaluates automatic overlap on six real scientific MPI codes:
+NAS BT, NAS CG, POP, Alya, SPECFEM3D and Sweep3D.  The real binaries (and
+the MareNostrum testbed) are not available, so each code is replaced by a
+parameterised SPMD model that reproduces its communication structure
+(topology, message sizes, collectives, iteration structure), its
+computation/communication ratio and -- crucially for this study -- the
+*pattern* by which the communicated data is produced and consumed.
+
+All models follow the same convention for the real (measured) pattern:
+boundary data that will be sent is finalised only in the tail of the
+computation burst (the boundary cells are the last ones updated), and halo
+data that was received is needed right at the head of the following burst.
+That is the behaviour the paper measured in the real applications, and it is
+what makes the real-pattern overlapping potential negligible.
+"""
+
+from repro.apps.base import ApplicationModel
+from repro.apps.alya import Alya
+from repro.apps.nas_bt import NasBT
+from repro.apps.nas_cg import NasCG
+from repro.apps.pop import Pop
+from repro.apps.registry import APPLICATIONS, create_application, paper_applications
+from repro.apps.specfem import Specfem
+from repro.apps.sweep3d import Sweep3D
+from repro.apps.synthetic import SanchoLoop
+
+__all__ = [
+    "APPLICATIONS",
+    "Alya",
+    "ApplicationModel",
+    "NasBT",
+    "NasCG",
+    "Pop",
+    "SanchoLoop",
+    "Specfem",
+    "Sweep3D",
+    "create_application",
+    "paper_applications",
+]

@@ -1,0 +1,85 @@
+"""Alya model: unstructured finite-element multiphysics code.
+
+Alya partitions an unstructured mesh across processes; every time step
+assembles and solves on the local partition and exchanges the values of the
+interface nodes with an irregular set of neighbouring partitions (different
+neighbours exchange different amounts of data).  One small allreduce per
+step checks the residual.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.apps.base import ApplicationModel
+from repro.tracing.context import RankContext
+
+
+class Alya(ApplicationModel):
+    """Synthetic Alya (irregular interface exchange, one residual reduce)."""
+
+    name = "alya"
+
+    def __init__(self, num_ranks: int = 16, iterations: int = 4,
+                 interface_bytes: int = 60_000,
+                 instructions_per_iteration: float = 3.0e6,
+                 size_variation: float = 0.15,
+                 mips: float = 1000.0, imbalance: float = 0.05):
+        super().__init__(num_ranks, iterations, mips=mips, imbalance=imbalance)
+        if interface_bytes < 1:
+            raise ValueError("interface_bytes must be positive")
+        if instructions_per_iteration <= 0:
+            raise ValueError("instructions_per_iteration must be positive")
+        if not 0.0 <= size_variation < 1.0:
+            raise ValueError("size_variation must be in [0, 1)")
+        self.interface_bytes = int(interface_bytes)
+        self.instructions_per_iteration = float(instructions_per_iteration)
+        self.size_variation = float(size_variation)
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info.update({
+            "interface_bytes": self.interface_bytes,
+            "instructions_per_iteration": self.instructions_per_iteration,
+            "size_variation": self.size_variation,
+        })
+        return info
+
+    def neighbors_of(self, rank: int) -> List[int]:
+        """Irregular but symmetric neighbourhood: ring plus two chords."""
+        size = self.num_ranks
+        chord = max(2, size // 3)
+        candidates = {
+            (rank + 1) % size, (rank - 1) % size,
+            (rank + chord) % size, (rank - chord) % size,
+        }
+        candidates.discard(rank)
+        return sorted(candidates)
+
+    def run(self, ctx: RankContext) -> None:
+        rank = ctx.rank
+        neighbors = self.neighbors_of(rank)
+        send_buffers = {}
+        recv_buffers = {}
+        for peer in neighbors:
+            size = self.edge_message_size(self.interface_bytes, rank, peer,
+                                          self.size_variation)
+            send_buffers[peer] = ctx.buffer(f"interface_to_{peer}", size)
+            recv_buffers[peer] = ctx.buffer(f"interface_from_{peer}", size)
+        for iteration in range(self.iterations):
+            # Exchange the interface values produced by the previous step; the
+            # assembly that follows consumes them immediately.
+            self.halo_exchange(
+                ctx,
+                sends=[(peer, send_buffers[peer], 40) for peer in neighbors],
+                recvs=[(peer, recv_buffers[peer], 40) for peer in neighbors])
+            # Global residual check of the previous step.
+            ctx.allreduce(count=2)
+            instructions = self.imbalanced(
+                self.instructions_per_iteration, rank, iteration)
+            # Element assembly + local solve: consumes the neighbour interface
+            # values just received, produces the next step's interface values.
+            self.stencil_compute(ctx, instructions,
+                                 consume=list(recv_buffers.values()),
+                                 produce=list(send_buffers.values()),
+                                 head_fraction=0.03, tail_fraction=0.04)

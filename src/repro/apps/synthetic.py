@@ -1,0 +1,85 @@
+"""The Sancho-style synthetic loop.
+
+Sancho et al. (SC'06) estimated the overlapping potential analytically by
+modelling an application as one iterative loop with a computation phase and
+a neighbour exchange.  This model is that loop: it lets the benchmarks
+compare the analytical bound against the simulated result, and it is the
+workload used to study the overlapping mechanisms in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.apps.base import ApplicationModel
+from repro.tracing.context import RankContext
+
+
+class SanchoLoop(ApplicationModel):
+    """A single iterative loop: compute, then exchange with ring neighbours."""
+
+    name = "sancho-loop"
+
+    def __init__(self, num_ranks: int = 8, iterations: int = 8,
+                 message_bytes: int = 100_000,
+                 instructions_per_iteration: float = 2.0e6,
+                 neighbors_per_rank: int = 2,
+                 mips: float = 1000.0, imbalance: float = 0.0):
+        super().__init__(num_ranks, iterations, mips=mips, imbalance=imbalance)
+        if message_bytes < 1:
+            raise ValueError("message_bytes must be positive")
+        if instructions_per_iteration <= 0:
+            raise ValueError("instructions_per_iteration must be positive")
+        if neighbors_per_rank not in (1, 2):
+            raise ValueError("neighbors_per_rank must be 1 or 2")
+        self.message_bytes = int(message_bytes)
+        self.instructions_per_iteration = float(instructions_per_iteration)
+        self.neighbors_per_rank = int(neighbors_per_rank)
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info.update({
+            "message_bytes": self.message_bytes,
+            "instructions_per_iteration": self.instructions_per_iteration,
+            "neighbors_per_rank": self.neighbors_per_rank,
+        })
+        return info
+
+    # -- analytical reference ------------------------------------------------
+    def compute_time(self) -> float:
+        """Computation time of one iteration (seconds)."""
+        return self.instructions_per_iteration / (self.mips * 1.0e6)
+
+    def communication_time(self, bandwidth_mbps: float, latency: float = 5.0e-6) -> float:
+        """Serialized neighbour-exchange time of one iteration (seconds)."""
+        if bandwidth_mbps <= 0:
+            return latency
+        bandwidth = bandwidth_mbps * 1.0e6
+        return self.neighbors_per_rank * (latency + self.message_bytes / bandwidth)
+
+    def run(self, ctx: RankContext) -> None:
+        rank = ctx.rank
+        size = self.num_ranks
+        send_peers = [(rank + 1) % size]
+        recv_peers = [(rank - 1) % size]
+        if self.neighbors_per_rank == 2:
+            send_peers.append((rank - 1) % size)
+            recv_peers.append((rank + 1) % size)
+        send_buffers = {
+            peer: ctx.buffer(f"out_{index}", self.message_bytes)
+            for index, peer in enumerate(send_peers)
+        }
+        recv_buffers = {
+            peer: ctx.buffer(f"in_{index}", self.message_bytes)
+            for index, peer in enumerate(recv_peers)
+        }
+        for iteration in range(self.iterations):
+            instructions = self.imbalanced(
+                self.instructions_per_iteration, rank, iteration)
+            self.stencil_compute(ctx, instructions,
+                                 consume=list(recv_buffers.values()),
+                                 produce=list(send_buffers.values()))
+            self.halo_exchange(
+                ctx,
+                sends=[(peer, send_buffers[peer], 70) for peer in send_peers],
+                recvs=[(peer, recv_buffers[peer], 70) for peer in recv_peers])

@@ -1,0 +1,264 @@
+"""Command-line interface of the overlap study environment.
+
+The CLI exposes the full pipeline from the terminal::
+
+    repro-overlap list-apps
+    repro-overlap trace    --app nas-bt --output bt.json
+    repro-overlap study    --app sweep3d --bandwidth 250 --gantt
+    repro-overlap sweep    --app alya --min-bandwidth 2 --max-bandwidth 20000
+    repro-overlap simulate --trace bt.json --bandwidth 100 --prv bt.prv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.apps.registry import APPLICATIONS, PAPER_IDEAL_SPEEDUP_PERCENT, create_application
+from repro.core.analysis import ORIGINAL, geometric_bandwidths
+from repro.core.chunking import FixedCountChunking, FixedSizeChunking
+from repro.core.environment import OverlapStudyEnvironment
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.patterns import ComputationPattern
+from repro.core.reporting import format_table, sweep_table
+from repro.core.sweeps import run_bandwidth_sweep
+from repro.dimemas.platform import Platform
+from repro.dimemas.simulator import DimemasSimulator
+from repro.errors import ReproError
+from repro.paraver.prv import export_prv
+from repro.tracing.trace import Trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-overlap",
+        description="Simulation environment for studying overlap of "
+                    "communication and computation (ISPASS 2010 reproduction)")
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-apps", help="list the available application models")
+
+    trace = subparsers.add_parser("trace", help="trace an application model")
+    _add_app_arguments(trace)
+    trace.add_argument("--output", required=True, help="trace file to write (JSON)")
+    trace.add_argument("--overlap", choices=[p.value for p in ComputationPattern],
+                       help="also apply the overlap transformation with this pattern")
+    trace.add_argument("--mechanism", default="full",
+                       choices=["full", "early-send", "late-receive"],
+                       help="overlapping mechanism for --overlap")
+
+    study = subparsers.add_parser(
+        "study", help="trace, transform and replay one application")
+    _add_app_arguments(study)
+    _add_platform_arguments(study)
+    study.add_argument("--gantt", action="store_true",
+                       help="print the side-by-side ASCII Gantt comparison")
+    study.add_argument("--mechanism", default="full",
+                       choices=["full", "early-send", "late-receive"])
+
+    sweep = subparsers.add_parser(
+        "sweep", help="speedup-versus-bandwidth sweep for one application")
+    _add_app_arguments(sweep)
+    _add_platform_arguments(sweep)
+    sweep.add_argument("--min-bandwidth", type=float, default=2.0,
+                       help="lowest bandwidth of the sweep (MB/s)")
+    sweep.add_argument("--max-bandwidth", type=float, default=20000.0,
+                       help="highest bandwidth of the sweep (MB/s)")
+    sweep.add_argument("--samples", type=int, default=9,
+                       help="number of (log-spaced) bandwidth samples")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="replay a previously saved trace file")
+    _add_platform_arguments(simulate)
+    simulate.add_argument("--trace", required=True, help="trace file written by 'trace'")
+    simulate.add_argument("--prv", help="also export the timeline as a Paraver .prv file")
+
+    profile = subparsers.add_parser(
+        "profile", help="print the statistics of a saved trace file")
+    profile.add_argument("--trace", required=True, help="trace file written by 'trace'")
+    profile.add_argument("--compare", help="second trace file (e.g. the overlapped "
+                                           "variant) for an expansion report")
+
+    return parser
+
+
+def _add_app_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", required=True, choices=sorted(APPLICATIONS),
+                        help="application model to use")
+    parser.add_argument("--ranks", type=int, default=16, help="number of MPI ranks")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="number of iterations (model default if omitted)")
+    parser.add_argument("--chunk-bytes", type=int, default=16384,
+                        help="chunk size of the overlap transformation (bytes)")
+    parser.add_argument("--chunk-count", type=int, default=None,
+                        help="use a fixed chunk count instead of a fixed chunk size")
+
+
+def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bandwidth", type=float, default=250.0,
+                        help="network bandwidth in MB/s (0 = ideal network)")
+    parser.add_argument("--latency", type=float, default=5.0e-6,
+                        help="network latency in seconds")
+    parser.add_argument("--buses", type=int, default=0,
+                        help="number of network buses (0 = unlimited)")
+    parser.add_argument("--cpu-speed", type=float, default=1.0,
+                        help="relative CPU speed of the target machine")
+    parser.add_argument("--eager-threshold", type=int, default=65536,
+                        help="eager/rendezvous switch-over size in bytes")
+
+
+def _make_app(args: argparse.Namespace):
+    overrides = {"num_ranks": args.ranks}
+    if args.iterations is not None:
+        overrides["iterations"] = args.iterations
+    return create_application(args.app, **overrides)
+
+
+def _make_environment(args: argparse.Namespace) -> OverlapStudyEnvironment:
+    if getattr(args, "chunk_count", None):
+        chunking = FixedCountChunking(count=args.chunk_count)
+    else:
+        chunking = FixedSizeChunking(chunk_bytes=getattr(args, "chunk_bytes", 16384))
+    platform = _make_platform(args)
+    return OverlapStudyEnvironment(platform=platform, chunking=chunking)
+
+
+def _make_platform(args: argparse.Namespace) -> Platform:
+    if not hasattr(args, "bandwidth"):
+        return Platform()
+    return Platform(
+        name="cli",
+        bandwidth_mbps=args.bandwidth,
+        latency=args.latency,
+        num_buses=args.buses,
+        relative_cpu_speed=args.cpu_speed,
+        eager_threshold=args.eager_threshold)
+
+
+# -- sub-commands ------------------------------------------------------------
+
+def _cmd_list_apps(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(APPLICATIONS):
+        paper = PAPER_IDEAL_SPEEDUP_PERCENT.get(name)
+        rows.append([name, "yes" if paper is not None else "no",
+                     f"{paper:.0f}%" if paper is not None else "-"])
+    print(format_table(["application", "in paper evaluation", "paper ideal speedup"],
+                       rows, title="available application models"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    environment = OverlapStudyEnvironment(
+        chunking=FixedCountChunking(count=args.chunk_count)
+        if args.chunk_count else FixedSizeChunking(chunk_bytes=args.chunk_bytes))
+    app = _make_app(args)
+    trace = environment.trace(app)
+    if args.overlap:
+        trace = environment.overlap(
+            trace, pattern=ComputationPattern.from_label(args.overlap),
+            mechanism=OverlapMechanism.from_label(args.mechanism))
+    path = trace.save(args.output)
+    info = trace.describe()
+    print(f"wrote {path} ({info['records']} records, "
+          f"{info['total_messages']} messages, {info['total_bytes']} bytes)")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    environment = _make_environment(args)
+    app = _make_app(args)
+    study = environment.study(
+        app, mechanism=OverlapMechanism.from_label(args.mechanism))
+    print(study.summary())
+    if args.gantt:
+        print()
+        print(study.gantt("ideal"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    environment = _make_environment(args)
+    app = _make_app(args)
+    bandwidths = geometric_bandwidths(args.min_bandwidth, args.max_bandwidth,
+                                      args.samples)
+    sweep = run_bandwidth_sweep(app, bandwidths, environment=environment)
+    print(sweep_table(sweep))
+    print()
+    factor = sweep.bandwidth_reduction_factor("ideal")
+    peak_bandwidth, peak = sweep.peak_speedup("ideal")
+    print(f"peak ideal-pattern speedup: {peak:.3f}x at {peak_bandwidth:.1f} MB/s")
+    if factor is not None:
+        print(f"bandwidth reduction factor at the highest swept bandwidth: {factor:.1f}x")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    platform = _make_platform(args)
+    result = DimemasSimulator(platform).simulate(trace)
+    rows = [[key, value] for key, value in sorted(result.describe().items())]
+    print(format_table(["metric", "value"], rows,
+                       title=f"replay of {args.trace} on {platform.bandwidth_mbps} MB/s"))
+    if args.prv:
+        path = export_prv(result.timeline, args.prv)
+        print(f"wrote Paraver trace {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.tracing.stats import expansion_report, profile_trace
+
+    trace = Trace.load(args.trace)
+    profile = profile_trace(trace)
+    rows = [
+        ["ranks", profile.num_ranks],
+        ["records", profile.total_records],
+        ["messages", profile.total_messages],
+        ["bytes", profile.total_bytes],
+        ["instructions", profile.total_instructions],
+        ["compute/comm ratio (250 MB/s)",
+         profile.compute_to_communication_ratio()],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"profile of {args.trace}"))
+    per_rank = [[rank.rank, rank.bursts, rank.messages_sent, rank.bytes_sent,
+                 rank.collectives] for rank in profile.ranks]
+    print()
+    print(format_table(["rank", "bursts", "sends", "bytes sent", "collectives"],
+                       per_rank))
+    if args.compare:
+        other = Trace.load(args.compare)
+        report = expansion_report(trace, other)
+        print()
+        print(format_table(["metric", "value"],
+                           [[key, value] for key, value in report.items()],
+                           title=f"expansion report: {args.trace} -> {args.compare}"))
+    return 0
+
+
+_COMMANDS = {
+    "list-apps": _cmd_list_apps,
+    "trace": _cmd_trace,
+    "study": _cmd_study,
+    "sweep": _cmd_sweep,
+    "simulate": _cmd_simulate,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by both ``repro-overlap`` and ``python -m repro``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""The paper's core contribution: the overlap study environment.
+
+* :mod:`repro.core.chunking`    -- policies that split a message into the
+  independent chunks of the automatic-overlap mechanism;
+* :mod:`repro.core.patterns`    -- the *real* (measured) and *ideal*
+  (linear) computation-pattern models;
+* :mod:`repro.core.mechanisms`  -- which overlapping mechanisms are enabled
+  (early sends, late receives, or both);
+* :mod:`repro.core.overlap`     -- the trace transformation that turns the
+  original trace into the potential (overlapped) trace;
+* :mod:`repro.core.environment` -- the facade tying tracing, transformation,
+  replay and visualisation together (paper Figure 1);
+* :mod:`repro.core.analysis`    -- speedups, bandwidth sweeps, bandwidth
+  reduction factors and the Sancho analytical model;
+* :mod:`repro.core.sweeps`      -- parameter-sweep drivers;
+* :mod:`repro.core.study`       -- one-stop study objects and reports.
+"""
+
+from repro.core.analysis import (
+    BandwidthSweep,
+    SweepPoint,
+    bandwidth_reduction_factor,
+    sancho_overlap_bound,
+    speedup,
+)
+from repro.core.chunking import Chunk, ChunkingPolicy, FixedCountChunking, FixedSizeChunking
+from repro.core.environment import OverlapStudyEnvironment
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.overlap import OverlapTransformer
+from repro.core.patterns import ComputationPattern
+from repro.core.study import OverlapStudy
+from repro.core.sweeps import run_bandwidth_sweep
+
+__all__ = [
+    "BandwidthSweep",
+    "Chunk",
+    "ChunkingPolicy",
+    "ComputationPattern",
+    "FixedCountChunking",
+    "FixedSizeChunking",
+    "OverlapMechanism",
+    "OverlapStudy",
+    "OverlapStudyEnvironment",
+    "OverlapTransformer",
+    "SweepPoint",
+    "bandwidth_reduction_factor",
+    "run_bandwidth_sweep",
+    "sancho_overlap_bound",
+    "speedup",
+]

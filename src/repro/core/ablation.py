@@ -1,0 +1,123 @@
+"""Ablation studies of the overlap mechanism's design choices.
+
+DESIGN.md calls out the design decisions whose influence the environment can
+quantify.  Each function here runs one such ablation for a given application
+and returns a mapping from the varied parameter to the resulting
+ideal-pattern speedup:
+
+* chunking policy / chunk size (how finely messages are partitioned);
+* the eager/rendezvous threshold of the MPI layer;
+* the relative CPU speed of the target machine (the paper's future-work
+  "faster nodes make overlap more valuable" argument).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.chunking import ChunkingPolicy, FixedSizeChunking
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.patterns import ComputationPattern
+from repro.core.overlap import OverlapTransformer
+from repro.dimemas.platform import Platform
+from repro.dimemas.simulator import DimemasSimulator
+from repro.tracing.machine import TracingVirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import ApplicationModel
+
+
+def _speedup(original_trace, overlapped_trace, platform: Platform) -> float:
+    simulator = DimemasSimulator(platform)
+    original = simulator.simulate(original_trace)
+    overlapped = simulator.simulate(overlapped_trace)
+    return original.total_time / overlapped.total_time
+
+
+def chunk_size_ablation(app: "ApplicationModel",
+                        chunk_sizes: Sequence[int] = (4096, 16384, 65536, 262144),
+                        platform: Optional[Platform] = None,
+                        pattern: ComputationPattern = ComputationPattern.IDEAL) -> Dict[int, float]:
+    """Ideal-pattern speedup as a function of the chunk size in bytes.
+
+    Small chunks pipeline better but pay more per-message latency; very large
+    chunks degenerate into the original single message.
+    """
+    platform = platform or Platform()
+    trace = TracingVirtualMachine().trace(app)
+    results: Dict[int, float] = {}
+    for chunk_bytes in chunk_sizes:
+        transformer = OverlapTransformer(
+            chunking=FixedSizeChunking(chunk_bytes=chunk_bytes, max_chunks=256),
+            pattern=pattern, mechanism=OverlapMechanism.FULL)
+        results[chunk_bytes] = _speedup(trace, transformer.transform(trace), platform)
+    return results
+
+
+def chunking_policy_ablation(app: "ApplicationModel",
+                             policies: Dict[str, ChunkingPolicy],
+                             platform: Optional[Platform] = None) -> Dict[str, float]:
+    """Ideal-pattern speedup for arbitrary named chunking policies."""
+    platform = platform or Platform()
+    trace = TracingVirtualMachine().trace(app)
+    results: Dict[str, float] = {}
+    for name, policy in policies.items():
+        transformer = OverlapTransformer(chunking=policy,
+                                         pattern=ComputationPattern.IDEAL,
+                                         mechanism=OverlapMechanism.FULL)
+        results[name] = _speedup(trace, transformer.transform(trace), platform)
+    return results
+
+
+def eager_threshold_ablation(app: "ApplicationModel",
+                             thresholds: Sequence[int] = (0, 16384, 65536, 1 << 20),
+                             platform: Optional[Platform] = None) -> Dict[int, float]:
+    """Ideal-pattern speedup as a function of the eager/rendezvous threshold.
+
+    With a tiny threshold every chunk needs a rendezvous with the (not yet
+    posted) receive, which delays the early transfers and eats most of the
+    overlap; a generous threshold lets chunks flow as soon as they are
+    produced.
+    """
+    platform = platform or Platform()
+    trace = TracingVirtualMachine().trace(app)
+    transformer = OverlapTransformer(pattern=ComputationPattern.IDEAL,
+                                     mechanism=OverlapMechanism.FULL)
+    overlapped = transformer.transform(trace)
+    results: Dict[int, float] = {}
+    for threshold in thresholds:
+        varied = Platform(
+            name=f"{platform.name}-eager{threshold}",
+            relative_cpu_speed=platform.relative_cpu_speed,
+            latency=platform.latency,
+            bandwidth_mbps=platform.bandwidth_mbps,
+            num_buses=platform.num_buses,
+            input_links=platform.input_links,
+            output_links=platform.output_links,
+            eager_threshold=threshold,
+            processors_per_node=platform.processors_per_node,
+            intranode_bandwidth_mbps=platform.intranode_bandwidth_mbps,
+            intranode_latency=platform.intranode_latency,
+            cpu_contention=platform.cpu_contention)
+        results[threshold] = _speedup(trace, overlapped, varied)
+    return results
+
+
+def cpu_speed_ablation(app: "ApplicationModel",
+                       cpu_speeds: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+                       platform: Optional[Platform] = None) -> Dict[float, float]:
+    """Ideal-pattern speedup as a function of the relative CPU speed.
+
+    Faster CPUs shrink the computation, so a fixed network looks relatively
+    slower and the benefit of hiding it grows -- the scaling argument behind
+    the paper's conclusion that overlap relaxes network requirements.
+    """
+    platform = platform or Platform()
+    trace = TracingVirtualMachine().trace(app)
+    transformer = OverlapTransformer(pattern=ComputationPattern.IDEAL,
+                                     mechanism=OverlapMechanism.FULL)
+    overlapped = transformer.transform(trace)
+    results: Dict[float, float] = {}
+    for speed in cpu_speeds:
+        results[speed] = _speedup(trace, overlapped, platform.with_cpu_speed(speed))
+    return results

@@ -1,0 +1,206 @@
+"""Analysis of simulation results: speedups, sweeps and bandwidth factors.
+
+The paper's three quantitative findings map onto three helpers here:
+
+* overlap speedup at a given bandwidth (``speedup`` /
+  :meth:`BandwidthSweep.speedup_at`);
+* the speedup-vs-bandwidth curve and its maximum in the *intermediate*
+  bandwidth region where communication time is comparable to computation
+  time (:meth:`BandwidthSweep.intermediate_bandwidth`);
+* the bandwidth the overlapped execution needs to match the original
+  execution's performance at high bandwidth
+  (:func:`bandwidth_reduction_factor`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dimemas.results import SimulationResult
+from repro.errors import AnalysisError
+
+#: Variant label of the non-overlapped execution in sweep results.
+ORIGINAL = "original"
+
+
+def speedup(baseline: SimulationResult, candidate: SimulationResult) -> float:
+    """How much faster ``candidate`` is than ``baseline`` (1.3 == 30 % faster)."""
+    if candidate.total_time <= 0:
+        raise AnalysisError("candidate execution has zero duration")
+    return baseline.total_time / candidate.total_time
+
+
+def sancho_overlap_bound(compute_time: float, communication_time: float) -> float:
+    """Analytical upper bound on overlap speedup (Sancho et al., SC'06).
+
+    With perfect overlap the execution takes ``max(Tcomp, Tcomm)`` instead of
+    ``Tcomp + Tcomm``, so the bound is their ratio.  The bound is maximal
+    (2x) when communication and computation times are equal -- the
+    *intermediate bandwidth* region of the paper.
+    """
+    if compute_time < 0 or communication_time < 0:
+        raise AnalysisError("times must be non-negative")
+    longest = max(compute_time, communication_time)
+    if longest == 0:
+        return 1.0
+    return (compute_time + communication_time) / longest
+
+
+@dataclass
+class SweepPoint:
+    """All variants simulated at one bandwidth."""
+
+    bandwidth_mbps: float
+    times: Dict[str, float]
+    original_communication_fraction: float = 0.0
+    original_compute_time: float = 0.0
+
+    def time(self, variant: str) -> float:
+        try:
+            return self.times[variant]
+        except KeyError:
+            raise AnalysisError(
+                f"variant {variant!r} missing at bandwidth {self.bandwidth_mbps}") from None
+
+    def speedup(self, variant: str) -> float:
+        candidate = self.time(variant)
+        if candidate <= 0:
+            raise AnalysisError(f"variant {variant!r} has zero duration")
+        return self.time(ORIGINAL) / candidate
+
+
+@dataclass
+class BandwidthSweep:
+    """Speedup-versus-bandwidth data for one application."""
+
+    app_name: str
+    variants: List[str]
+    points: List[SweepPoint] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.points.sort(key=lambda point: point.bandwidth_mbps)
+
+    # -- basic accessors ---------------------------------------------------
+    def bandwidths(self) -> List[float]:
+        return [point.bandwidth_mbps for point in self.points]
+
+    def times(self, variant: str) -> List[float]:
+        return [point.time(variant) for point in self.points]
+
+    def speedups(self, variant: str) -> List[Tuple[float, float]]:
+        """(bandwidth, speedup-over-original) pairs for ``variant``."""
+        return [(point.bandwidth_mbps, point.speedup(variant)) for point in self.points]
+
+    def point_at(self, bandwidth_mbps: float) -> SweepPoint:
+        for point in self.points:
+            if math.isclose(point.bandwidth_mbps, bandwidth_mbps, rel_tol=1e-9):
+                return point
+        raise AnalysisError(
+            f"bandwidth {bandwidth_mbps} MB/s was not part of the sweep")
+
+    def speedup_at(self, bandwidth_mbps: float, variant: str) -> float:
+        return self.point_at(bandwidth_mbps).speedup(variant)
+
+    # -- headline numbers ---------------------------------------------------
+    def peak_speedup(self, variant: str) -> Tuple[float, float]:
+        """(bandwidth, speedup) of the maximum speedup over the sweep."""
+        if not self.points:
+            raise AnalysisError("empty sweep")
+        best = max(self.points, key=lambda point: point.speedup(variant))
+        return best.bandwidth_mbps, best.speedup(variant)
+
+    def intermediate_bandwidth(self) -> float:
+        """Bandwidth where communication is most comparable to computation.
+
+        The paper defines the interesting (realistic) region as the one where
+        the time spent in communication is comparable to the time spent in
+        computation; we pick the sweep point whose original execution has a
+        blocked fraction closest to one half.
+        """
+        if not self.points:
+            raise AnalysisError("empty sweep")
+        best = min(self.points,
+                   key=lambda point: abs(point.original_communication_fraction - 0.5))
+        return best.bandwidth_mbps
+
+    def intermediate_speedup(self, variant: str) -> float:
+        """Speedup of ``variant`` at the intermediate bandwidth."""
+        return self.point_at(self.intermediate_bandwidth()).speedup(variant)
+
+    # -- bandwidth requirement analysis ------------------------------------------
+    def bandwidth_for_time(self, target_time: float, variant: str) -> Optional[float]:
+        """Smallest bandwidth at which ``variant`` runs in <= ``target_time``.
+
+        The sweep samples discrete bandwidths; between two adjacent samples
+        the bandwidth is interpolated logarithmically.  Returns ``None`` if
+        even the largest swept bandwidth is too slow.
+        """
+        if target_time <= 0:
+            raise AnalysisError("target time must be positive")
+        candidates = [(point.bandwidth_mbps, point.time(variant)) for point in self.points]
+        for index, (bandwidth, time) in enumerate(candidates):
+            if time <= target_time:
+                if index == 0:
+                    return bandwidth
+                previous_bandwidth, previous_time = candidates[index - 1]
+                return _log_interpolate(previous_bandwidth, previous_time,
+                                        bandwidth, time, target_time)
+        return None
+
+    def bandwidth_reduction_factor(self, variant: str,
+                                   reference_bandwidth: Optional[float] = None,
+                                   tolerance: float = 0.0) -> Optional[float]:
+        """How much less bandwidth ``variant`` needs to match the original.
+
+        The original execution's time at ``reference_bandwidth`` (default:
+        the highest swept bandwidth) is taken as the performance target; the
+        factor is ``reference_bandwidth / bandwidth_needed_by_variant``.
+        ``tolerance`` relaxes the target by that relative amount (0.02 means
+        "within 2 % of the original's performance"), which filters out the
+        per-chunk latency overhead of the overlapped execution on networks so
+        fast that there is nothing left to hide.
+        """
+        if not self.points:
+            raise AnalysisError("empty sweep")
+        if tolerance < 0:
+            raise AnalysisError("tolerance must be non-negative")
+        if reference_bandwidth is None:
+            reference_bandwidth = self.points[-1].bandwidth_mbps
+        target_time = self.point_at(reference_bandwidth).time(ORIGINAL) * (1.0 + tolerance)
+        needed = self.bandwidth_for_time(target_time, variant)
+        if needed is None or needed <= 0:
+            return None
+        return reference_bandwidth / needed
+
+
+def bandwidth_reduction_factor(sweep: BandwidthSweep, variant: str,
+                               reference_bandwidth: Optional[float] = None) -> Optional[float]:
+    """Module-level convenience wrapper (see the method of the same name)."""
+    return sweep.bandwidth_reduction_factor(variant, reference_bandwidth)
+
+
+def _log_interpolate(bandwidth_low: float, time_low: float,
+                     bandwidth_high: float, time_high: float,
+                     target_time: float) -> float:
+    """Log-space interpolation of the bandwidth that reaches ``target_time``."""
+    if time_low <= target_time:
+        return bandwidth_low
+    if math.isclose(time_low, time_high):
+        return bandwidth_high
+    fraction = (time_low - target_time) / (time_low - time_high)
+    fraction = min(max(fraction, 0.0), 1.0)
+    log_low, log_high = math.log(bandwidth_low), math.log(bandwidth_high)
+    return math.exp(log_low + fraction * (log_high - log_low))
+
+
+def geometric_bandwidths(minimum: float, maximum: float, samples: int) -> List[float]:
+    """Log-spaced bandwidth values for a sweep (inclusive endpoints)."""
+    if minimum <= 0 or maximum <= 0 or maximum < minimum:
+        raise AnalysisError("bandwidth range must be positive and increasing")
+    if samples < 2:
+        raise AnalysisError("a sweep needs at least two samples")
+    ratio = (maximum / minimum) ** (1.0 / (samples - 1))
+    return [minimum * ratio ** index for index in range(samples)]

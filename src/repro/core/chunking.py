@@ -1,0 +1,116 @@
+"""Message chunking policies.
+
+The automatic-overlap mechanism partitions every original message into
+independent chunks; every chunk is sent as soon as it is produced and waited
+for in the moment it is needed.  The chunking policy is a pure function of
+the message size, so the sender and the receiver always agree on the number
+and the sizes of the chunks without any coordination.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+#: Upper bound on chunks per message; keeps derived chunk tags collision-free.
+MAX_CHUNKS_PER_MESSAGE = 512
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk of a message: its index, fraction range and size in bytes."""
+
+    index: int
+    lo: float
+    hi: float
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(f"negative chunk index: {self.index}")
+        if not (0.0 <= self.lo < self.hi <= 1.0 + 1e-12):
+            raise ConfigurationError(f"invalid chunk range [{self.lo}, {self.hi})")
+        if self.size < 0:
+            raise ConfigurationError(f"negative chunk size: {self.size}")
+
+    def overlaps(self, lo: float, hi: float) -> bool:
+        """True if the fraction range [lo, hi) touches this chunk."""
+        return lo < self.hi and hi > self.lo
+
+
+class ChunkingPolicy(ABC):
+    """Decides how many chunks a message of a given size is split into."""
+
+    @abstractmethod
+    def chunk_count(self, size: int) -> int:
+        """Number of chunks for a message of ``size`` bytes."""
+
+    def chunks(self, size: int) -> List[Chunk]:
+        """The chunks of a message of ``size`` bytes (sizes sum to ``size``)."""
+        if size < 0:
+            raise ConfigurationError(f"negative message size: {size}")
+        count = max(1, min(self.chunk_count(size), MAX_CHUNKS_PER_MESSAGE))
+        base = size // count
+        remainder = size - base * count
+        chunks: List[Chunk] = []
+        for index in range(count):
+            chunk_size = base + (1 if index < remainder else 0)
+            chunks.append(Chunk(
+                index=index,
+                lo=index / count,
+                hi=(index + 1) / count,
+                size=chunk_size))
+        return chunks
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+class FixedCountChunking(ChunkingPolicy):
+    """Split every message into (up to) a fixed number of chunks.
+
+    Small messages are split into fewer chunks so that no chunk is smaller
+    than ``min_chunk_bytes``.
+    """
+
+    def __init__(self, count: int = 16, min_chunk_bytes: int = 256):
+        if count < 1:
+            raise ConfigurationError(f"chunk count must be >= 1, got {count!r}")
+        if min_chunk_bytes < 1:
+            raise ConfigurationError(
+                f"min_chunk_bytes must be >= 1, got {min_chunk_bytes!r}")
+        self.count = count
+        self.min_chunk_bytes = min_chunk_bytes
+
+    def chunk_count(self, size: int) -> int:
+        if size <= 0:
+            return 1
+        largest_sensible = max(1, size // self.min_chunk_bytes)
+        return min(self.count, largest_sensible)
+
+    def __repr__(self) -> str:
+        return f"FixedCountChunking(count={self.count}, min_chunk_bytes={self.min_chunk_bytes})"
+
+
+class FixedSizeChunking(ChunkingPolicy):
+    """Split every message into chunks of (up to) a fixed size in bytes."""
+
+    def __init__(self, chunk_bytes: int = 16384, max_chunks: int = 64):
+        if chunk_bytes < 1:
+            raise ConfigurationError(f"chunk_bytes must be >= 1, got {chunk_bytes!r}")
+        if max_chunks < 1:
+            raise ConfigurationError(f"max_chunks must be >= 1, got {max_chunks!r}")
+        self.chunk_bytes = chunk_bytes
+        self.max_chunks = max_chunks
+
+    def chunk_count(self, size: int) -> int:
+        if size <= 0:
+            return 1
+        return min(self.max_chunks, math.ceil(size / self.chunk_bytes))
+
+    def __repr__(self) -> str:
+        return f"FixedSizeChunking(chunk_bytes={self.chunk_bytes}, max_chunks={self.max_chunks})"

@@ -1,0 +1,93 @@
+"""The overlap study environment (paper Figure 1).
+
+The environment connects the three stages of the paper's tool chain:
+
+1. the tracing virtual machine produces the annotated original trace of an
+   application model,
+2. the overlap transformer generates the potential (overlapped) traces, and
+3. the Dimemas replay engine reconstructs the time behaviours on a
+   configurable platform, which can then be compared with the Paraver-like
+   timeline utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, TYPE_CHECKING
+
+from repro.core.chunking import ChunkingPolicy, FixedSizeChunking
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.patterns import ComputationPattern
+from repro.core.study import OverlapStudy
+from repro.dimemas.platform import Platform
+from repro.dimemas.results import SimulationResult
+from repro.dimemas.simulator import DimemasSimulator
+from repro.tracing.machine import TracingVirtualMachine
+from repro.tracing.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import ApplicationModel
+
+
+class OverlapStudyEnvironment:
+    """Facade over tracing, overlap transformation, replay and comparison."""
+
+    def __init__(self, platform: Optional[Platform] = None,
+                 chunking: Optional[ChunkingPolicy] = None,
+                 validate: bool = True):
+        self.platform = platform or Platform()
+        self.chunking = chunking or FixedSizeChunking(chunk_bytes=16384, max_chunks=64)
+        self.machine = TracingVirtualMachine(validate=validate)
+        self.simulator = DimemasSimulator(self.platform)
+
+    # -- stage 1: tracing -----------------------------------------------------
+    def trace(self, app: "ApplicationModel") -> Trace:
+        """Run the tracing virtual machine on ``app``."""
+        return self.machine.trace(app)
+
+    # -- stage 2: overlap transformation ---------------------------------------
+    def overlap(self, trace: Trace,
+                pattern: ComputationPattern = ComputationPattern.IDEAL,
+                mechanism: OverlapMechanism = OverlapMechanism.FULL) -> Trace:
+        """Generate the overlapped (potential) trace of ``trace``."""
+        from repro.core.overlap import OverlapTransformer
+        transformer = OverlapTransformer(
+            chunking=self.chunking, pattern=pattern, mechanism=mechanism)
+        return transformer.transform(trace)
+
+    # -- stage 3: replay ---------------------------------------------------------
+    def simulate(self, trace: Trace, platform: Optional[Platform] = None,
+                 bandwidth_mbps: Optional[float] = None,
+                 label: Optional[str] = None) -> SimulationResult:
+        """Replay ``trace`` on ``platform`` (optionally overriding bandwidth)."""
+        platform = platform or self.platform
+        if bandwidth_mbps is not None:
+            platform = platform.with_bandwidth(bandwidth_mbps)
+        return self.simulator.simulate(trace, platform=platform, label=label)
+
+    # -- one-stop study -----------------------------------------------------------
+    def study(self, app: "ApplicationModel",
+              platform: Optional[Platform] = None,
+              patterns: Iterable[ComputationPattern] = (
+                  ComputationPattern.REAL, ComputationPattern.IDEAL),
+              mechanism: OverlapMechanism = OverlapMechanism.FULL) -> OverlapStudy:
+        """Trace, transform and replay ``app``; return the assembled study."""
+        platform = platform or self.platform
+        original_trace = self.trace(app)
+        original_result = self.simulate(original_trace, platform=platform,
+                                        label=f"{app.name}:original")
+        overlapped_traces: Dict[str, Trace] = {}
+        overlapped_results: Dict[str, SimulationResult] = {}
+        for pattern in patterns:
+            overlapped = self.overlap(original_trace, pattern=pattern,
+                                      mechanism=mechanism)
+            overlapped_traces[pattern.value] = overlapped
+            overlapped_results[pattern.value] = self.simulate(
+                overlapped, platform=platform, label=f"{app.name}:{pattern.value}")
+        return OverlapStudy(
+            app_name=app.name,
+            platform=platform,
+            mechanism=mechanism,
+            original_trace=original_trace,
+            original_result=original_result,
+            overlapped_traces=overlapped_traces,
+            overlapped_results=overlapped_results)

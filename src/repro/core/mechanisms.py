@@ -1,0 +1,51 @@
+"""Overlapping mechanisms.
+
+The paper's tracing tool can generate traces that enforce only a subset of
+the overlapping mechanisms so each can be studied separately: sending
+partial data as soon as it is produced (early sends), and waiting for
+partial data only at the moment it is consumed (late receives).
+"""
+
+from __future__ import annotations
+
+from enum import Flag, auto
+
+
+class OverlapMechanism(Flag):
+    """Which halves of the automatic-overlap mechanism are enabled."""
+
+    NONE = 0
+    EARLY_SEND = auto()
+    LATE_RECEIVE = auto()
+    FULL = EARLY_SEND | LATE_RECEIVE
+
+    @property
+    def transforms_sends(self) -> bool:
+        return bool(self & OverlapMechanism.EARLY_SEND)
+
+    @property
+    def transforms_receives(self) -> bool:
+        return bool(self & OverlapMechanism.LATE_RECEIVE)
+
+    @property
+    def label(self) -> str:
+        if self is OverlapMechanism.FULL:
+            return "full"
+        if self is OverlapMechanism.EARLY_SEND:
+            return "early-send"
+        if self is OverlapMechanism.LATE_RECEIVE:
+            return "late-receive"
+        return "none"
+
+    @classmethod
+    def from_label(cls, label: str) -> "OverlapMechanism":
+        mapping = {
+            "full": cls.FULL,
+            "early-send": cls.EARLY_SEND,
+            "late-receive": cls.LATE_RECEIVE,
+            "none": cls.NONE,
+        }
+        try:
+            return mapping[label.lower()]
+        except KeyError:
+            raise ValueError(f"unknown overlap mechanism {label!r}") from None

@@ -1,0 +1,86 @@
+"""Plain-text reporting helpers used by the CLI, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.analysis import ORIGINAL, BandwidthSweep
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a simple aligned text table."""
+    rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sweep_table(sweep: BandwidthSweep, variants: Optional[Sequence[str]] = None) -> str:
+    """Speedup-vs-bandwidth table for one application."""
+    variants = list(variants or [v for v in sweep.variants if v != ORIGINAL])
+    headers = ["bandwidth (MB/s)", "original time (s)"] + [
+        f"speedup ({variant})" for variant in variants]
+    rows = []
+    for point in sweep.points:
+        row: List[object] = [point.bandwidth_mbps, point.time(ORIGINAL)]
+        row.extend(point.speedup(variant) for variant in variants)
+        rows.append(row)
+    return format_table(headers, rows, title=f"bandwidth sweep: {sweep.app_name}")
+
+
+def peak_speedup_table(sweeps: Dict[str, BandwidthSweep], variant: str = "ideal",
+                       paper_values: Optional[Dict[str, float]] = None) -> str:
+    """The paper's headline table: per-application speedup at intermediate bandwidth."""
+    headers = ["application", "intermediate BW (MB/s)", "speedup", "improvement (%)"]
+    if paper_values:
+        headers.append("paper (%)")
+    rows = []
+    for name, sweep in sweeps.items():
+        bandwidth = sweep.intermediate_bandwidth()
+        speedup_value = sweep.intermediate_speedup(variant)
+        row: List[object] = [name, bandwidth, speedup_value,
+                             (speedup_value - 1.0) * 100.0]
+        if paper_values:
+            row.append(paper_values.get(name, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows,
+                        title=f"overlap speedup at intermediate bandwidth ({variant} pattern)")
+
+
+def reduction_table(sweeps: Dict[str, BandwidthSweep], variant: str = "ideal",
+                    reference_bandwidth: Optional[float] = None) -> str:
+    """Bandwidth-relaxation table: factor by which overlap reduces the need."""
+    headers = ["application", "reference BW (MB/s)", "needed BW (MB/s)", "reduction factor"]
+    rows = []
+    for name, sweep in sweeps.items():
+        reference = reference_bandwidth or sweep.points[-1].bandwidth_mbps
+        target_time = sweep.point_at(reference).time(ORIGINAL)
+        needed = sweep.bandwidth_for_time(target_time, variant)
+        factor = sweep.bandwidth_reduction_factor(variant, reference)
+        rows.append([name, reference,
+                     needed if needed is not None else float("nan"),
+                     factor if factor is not None else float("nan")])
+    return format_table(headers, rows,
+                        title="bandwidth needed by the overlapped execution to match "
+                              "the original at the reference bandwidth")

@@ -1,0 +1,79 @@
+"""Study objects: the assembled original-versus-overlapped comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.mechanisms import OverlapMechanism
+from repro.dimemas.platform import Platform
+from repro.dimemas.results import SimulationResult
+from repro.errors import AnalysisError
+from repro.paraver.compare import TimelineComparison, compare_timelines, side_by_side
+from repro.tracing.trace import Trace
+
+
+@dataclass
+class OverlapStudy:
+    """Everything the environment produced for one application on one platform."""
+
+    app_name: str
+    platform: Platform
+    mechanism: OverlapMechanism
+    original_trace: Trace
+    original_result: SimulationResult
+    overlapped_traces: Dict[str, Trace] = field(default_factory=dict)
+    overlapped_results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    # -- quantitative ------------------------------------------------------
+    def patterns(self) -> List[str]:
+        return list(self.overlapped_results)
+
+    def result(self, pattern: str) -> SimulationResult:
+        try:
+            return self.overlapped_results[pattern]
+        except KeyError:
+            raise AnalysisError(
+                f"pattern {pattern!r} was not part of this study "
+                f"(available: {self.patterns()})") from None
+
+    def speedup(self, pattern: str = "ideal") -> float:
+        """Speedup of the overlapped execution with ``pattern`` over the original."""
+        overlapped = self.result(pattern)
+        if overlapped.total_time <= 0:
+            raise AnalysisError("overlapped execution has zero duration")
+        return self.original_result.total_time / overlapped.total_time
+
+    def improvement_percent(self, pattern: str = "ideal") -> float:
+        return (self.speedup(pattern) - 1.0) * 100.0
+
+    def comparison(self, pattern: str = "ideal") -> TimelineComparison:
+        """Quantitative timeline comparison for ``pattern``."""
+        return compare_timelines(self.original_result.timeline,
+                                 self.result(pattern).timeline)
+
+    # -- qualitative --------------------------------------------------------
+    def gantt(self, pattern: str = "ideal", width: int = 60) -> str:
+        """Side-by-side ASCII Gantt of the original and overlapped executions."""
+        return side_by_side(self.original_result.timeline,
+                            self.result(pattern).timeline, width=width)
+
+    def summary(self) -> str:
+        """Human-readable summary of the study."""
+        lines = [
+            f"application: {self.app_name}",
+            f"platform:    {self.platform.name} "
+            f"(bandwidth {self.platform.bandwidth_mbps} MB/s, "
+            f"latency {self.platform.latency * 1e6:.1f} us)",
+            f"mechanism:   {self.mechanism.label}",
+            f"original execution time: {self.original_result.total_time:.6f} s "
+            f"(communication fraction "
+            f"{self.original_result.communication_fraction() * 100:.1f} %)",
+        ]
+        for pattern in self.patterns():
+            result = self.result(pattern)
+            lines.append(
+                f"overlapped ({pattern:>5} pattern): {result.total_time:.6f} s "
+                f"-> speedup {self.speedup(pattern):.3f}x "
+                f"({self.improvement_percent(pattern):+.1f} %)")
+        return "\n".join(lines)

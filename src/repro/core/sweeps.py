@@ -1,0 +1,106 @@
+"""Parameter-sweep drivers.
+
+A bandwidth sweep traces the application once, transforms the trace once per
+computation pattern, and replays every variant across the requested
+bandwidths.  That mirrors the paper's methodology: a single real run feeds
+the tracer, and Dimemas replays the resulting traces on many configurable
+platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.analysis import ORIGINAL, BandwidthSweep, SweepPoint
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.patterns import ComputationPattern
+from repro.dimemas.platform import Platform
+from repro.tracing.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import ApplicationModel
+    from repro.core.environment import OverlapStudyEnvironment
+
+
+def run_bandwidth_sweep(app: "ApplicationModel",
+                        bandwidths_mbps: Sequence[float],
+                        patterns: Iterable[ComputationPattern] = (
+                            ComputationPattern.REAL, ComputationPattern.IDEAL),
+                        mechanism: OverlapMechanism = OverlapMechanism.FULL,
+                        environment: Optional["OverlapStudyEnvironment"] = None,
+                        platform: Optional[Platform] = None) -> BandwidthSweep:
+    """Sweep the network bandwidth for one application.
+
+    Returns a :class:`BandwidthSweep` whose variants are ``original`` plus
+    one entry per requested pattern (labelled by the pattern value).
+    """
+    from repro.core.environment import OverlapStudyEnvironment
+
+    environment = environment or OverlapStudyEnvironment(platform=platform)
+    base_platform = platform or environment.platform
+    patterns = list(patterns)
+
+    original = environment.trace(app)
+    variants: Dict[str, Trace] = {ORIGINAL: original}
+    for pattern in patterns:
+        variants[pattern.value] = environment.overlap(
+            original, pattern=pattern, mechanism=mechanism)
+
+    sweep = BandwidthSweep(
+        app_name=app.name,
+        variants=list(variants),
+        metadata={
+            "mechanism": mechanism.label,
+            "chunking": environment.chunking.describe(),
+            "num_ranks": app.num_ranks,
+            "platform": base_platform.name,
+        })
+    for bandwidth in bandwidths_mbps:
+        point_platform = base_platform.with_bandwidth(bandwidth)
+        times: Dict[str, float] = {}
+        original_result = None
+        for label, trace in variants.items():
+            result = environment.simulate(trace, platform=point_platform,
+                                          label=f"{app.name}:{label}@{bandwidth}MBps")
+            times[label] = result.total_time
+            if label == ORIGINAL:
+                original_result = result
+        sweep.points.append(SweepPoint(
+            bandwidth_mbps=bandwidth,
+            times=times,
+            original_communication_fraction=original_result.communication_fraction(),
+            original_compute_time=original_result.max_compute_time()))
+    sweep.points.sort(key=lambda point: point.bandwidth_mbps)
+    return sweep
+
+
+def run_mechanism_sweep(app: "ApplicationModel",
+                        bandwidth_mbps: float,
+                        pattern: ComputationPattern = ComputationPattern.IDEAL,
+                        mechanisms: Sequence[OverlapMechanism] = (
+                            OverlapMechanism.EARLY_SEND,
+                            OverlapMechanism.LATE_RECEIVE,
+                            OverlapMechanism.FULL),
+                        environment: Optional["OverlapStudyEnvironment"] = None,
+                        platform: Optional[Platform] = None) -> Dict[str, float]:
+    """Speedup of each overlapping mechanism at a fixed bandwidth.
+
+    Returns a mapping ``mechanism label -> speedup over the original``.
+    """
+    from repro.core.environment import OverlapStudyEnvironment
+
+    environment = environment or OverlapStudyEnvironment(platform=platform)
+    base_platform = (platform or environment.platform).with_bandwidth(bandwidth_mbps)
+
+    original = environment.trace(app)
+    original_time = environment.simulate(
+        original, platform=base_platform, label=f"{app.name}:original").total_time
+
+    speedups: Dict[str, float] = {}
+    for mechanism in mechanisms:
+        overlapped = environment.overlap(original, pattern=pattern, mechanism=mechanism)
+        result = environment.simulate(
+            overlapped, platform=base_platform,
+            label=f"{app.name}:{mechanism.label}")
+        speedups[mechanism.label] = original_time / result.total_time
+    return speedups

@@ -1,0 +1,28 @@
+"""A small discrete-event-simulation kernel.
+
+The kernel follows the classic process-interaction style (similar to SimPy,
+but written from scratch for this reproduction): an :class:`Environment`
+owns a time-ordered event queue, processes are Python generators that yield
+events, and resources provide contention points (the Dimemas network model
+uses them for buses and per-node links).
+"""
+
+from repro.des.events import AllOf, AnyOf, Condition, Event, Timeout
+from repro.des.core import Environment, Process
+from repro.des.exceptions import DesError, StopProcess
+from repro.des.resources import Container, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "DesError",
+    "Environment",
+    "Event",
+    "Process",
+    "Resource",
+    "StopProcess",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,196 @@
+"""The simulation environment and generator-based processes."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+
+from repro.des.events import (
+    PENDING,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Initialize,
+    Timeout,
+)
+from repro.des.exceptions import DesError, EmptySchedule, StopProcess
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process.
+
+    A process wraps a generator.  The generator yields :class:`Event`
+    instances; the process resumes when the yielded event is processed and
+    receives the event's value as the result of the ``yield`` expression.
+    The process itself is an event that triggers when the generator returns,
+    so processes can wait on each other.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env, name=name or getattr(generator, "__name__", "Process"))
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self).add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(
+                        None if event._value is PENDING else event._value)
+                else:
+                    event.defuse()
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._target = None
+                self.succeed(getattr(exc, "value", None), priority=PRIORITY_URGENT)
+                break
+            except StopProcess as exc:
+                self._target = None
+                self.succeed(exc.value, priority=PRIORITY_URGENT)
+                break
+            except BaseException as exc:
+                self._target = None
+                self.fail(exc, priority=PRIORITY_URGENT)
+                break
+
+            if not isinstance(next_event, Event):
+                error = DesError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}")
+                self._target = None
+                self.fail(error, priority=PRIORITY_URGENT)
+                break
+
+            if next_event.processed:
+                # The event already happened: continue immediately with it.
+                event = next_event
+                continue
+
+            self._target = next_event
+            next_event.add_callback(self._resume)
+            break
+        self.env._active_process = None
+
+
+class Environment:
+    """Owns simulation time and the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Insert ``event`` into the queue ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay!r})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise EmptySchedule("no more events scheduled")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event nobody waited for: surface the error.
+            raise event._value
+
+    def run(self, until: Union[None, float, int, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulation time) or an :class:`Event` (run until the
+        event is processed; its value is returned).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time!r} lies before the current time {self._now!r}")
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    stop_event.defuse()
+                    raise stop_event._value
+                return stop_event._value
+            if not self._queue:
+                if stop_event is not None:
+                    raise EmptySchedule(
+                        "event queue drained before the 'until' event triggered")
+                if stop_time is not None and stop_time > self._now:
+                    self._now = stop_time
+                return None
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+    # -- factories ---------------------------------------------------------
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def event(self, name: Optional[str] = None) -> Event:
+        """A bare event that user code triggers explicitly."""
+        return Event(self, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)

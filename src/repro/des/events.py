@@ -1,0 +1,191 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` moves through three states:
+
+* *pending* -- created, not yet triggered;
+* *triggered* -- :meth:`Event.succeed` or :meth:`Event.fail` has been called
+  and the event sits in the environment queue;
+* *processed* -- the environment popped the event and ran its callbacks.
+
+Processes (see :mod:`repro.des.core`) wait on events by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.des.exceptions import EventAlreadyTriggered
+
+#: Sentinel for "the event has no value yet".
+PENDING = object()
+
+#: Scheduling priority used for resource grants and process bootstraps so
+#: they run before ordinary timeouts scheduled at the same instant.
+PRIORITY_URGENT = 0
+#: Default scheduling priority.
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A condition a process can wait for."""
+
+    def __init__(self, env: "Environment", name: Optional[str] = None):
+        self.env = env
+        self.name = name
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has executed the event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was succeeded (or failed) with."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully and schedule it for processing."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the event.
+        If nothing ever waits on a failed event the environment raises the
+        exception at processing time so errors never pass silently.
+        """
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled outside a process."""
+        self._defused = True
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env, name=f"Timeout({delay})")
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+
+class Initialize(Event):
+    """Internal event used to bootstrap a process."""
+
+    def __init__(self, env: "Environment", process: "Event"):
+        super().__init__(env, name="Initialize")
+        self.process = process
+        self._ok = True
+        self._value = None
+        env.schedule(self, delay=0.0, priority=PRIORITY_URGENT)
+
+
+class Condition(Event):
+    """Composite event that triggers based on a set of child events.
+
+    ``evaluate`` receives the list of child events and the number of children
+    that have triggered so far and returns True when the condition holds.
+    A failing child fails the whole condition immediately.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 evaluate: Callable[[List[Event], int], bool]):
+        super().__init__(env, name=self.__class__.__name__)
+        self._events: List[Event] = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events of a condition must share the environment")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda events, count: count == len(events))
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda events, count: count >= 1 or not events)

@@ -1,0 +1,29 @@
+"""Exceptions used by the discrete-event-simulation kernel."""
+
+from repro.errors import ReproError
+
+
+class DesError(ReproError):
+    """Base class for kernel errors."""
+
+
+class EventAlreadyTriggered(DesError):
+    """An event was succeeded or failed more than once."""
+
+
+class EmptySchedule(DesError):
+    """``run(until=...)`` was asked to reach a condition that can never occur
+    because the event queue drained first."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it early with a value.
+
+    ``return value`` inside the generator is the usual way to finish a
+    process; ``raise StopProcess(value)`` is provided for code paths where a
+    plain ``return`` is awkward (e.g. deeply nested helpers).
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value

@@ -1,0 +1,28 @@
+"""The trace-driven network replay simulator (Dimemas model).
+
+Dimemas reconstructs the time behaviour of an MPI application on a
+configurable parallel platform from per-process trace files.  This package
+implements that machine model from scratch on top of :mod:`repro.des`:
+
+* :mod:`repro.dimemas.platform`    -- the platform description (CPU speed,
+  latency, bandwidth, buses, per-node links, eager threshold, mapping);
+* :mod:`repro.dimemas.network`     -- point-to-point transfers with link and
+  bus contention;
+* :mod:`repro.dimemas.protocol`    -- eager/rendezvous selection;
+* :mod:`repro.dimemas.collectives` -- collective cost models;
+* :mod:`repro.dimemas.matching`    -- cross-rank message matching;
+* :mod:`repro.dimemas.replay`      -- the per-rank replay processes;
+* :mod:`repro.dimemas.results`     -- per-rank statistics and aggregates;
+* :mod:`repro.dimemas.simulator`   -- the facade (`DimemasSimulator`).
+"""
+
+from repro.dimemas.platform import Platform
+from repro.dimemas.results import RankStats, SimulationResult
+from repro.dimemas.simulator import DimemasSimulator
+
+__all__ = [
+    "DimemasSimulator",
+    "Platform",
+    "RankStats",
+    "SimulationResult",
+]

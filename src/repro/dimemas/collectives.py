@@ -1,0 +1,44 @@
+"""Cost models for collective operations.
+
+Dimemas models collectives with analytical formulas parameterised by the
+platform latency and bandwidth; we use the standard binomial-tree / ring
+models.  All ranks enter the collective, the operation starts when the last
+rank arrives, and every rank leaves ``duration`` later.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dimemas.platform import Platform
+from repro.errors import SimulationError
+
+
+def point_to_point_time(size: int, platform: Platform) -> float:
+    """Time of a single message inside a collective stage."""
+    return platform.transfer_time(size)
+
+
+def collective_duration(operation: str, size: int, num_ranks: int,
+                        platform: Platform) -> float:
+    """Duration of ``operation`` with a per-rank payload of ``size`` bytes."""
+    if num_ranks < 1:
+        raise SimulationError(f"collective over {num_ranks} ranks")
+    if num_ranks == 1:
+        return 0.0
+    stages = math.ceil(math.log2(num_ranks))
+    message = point_to_point_time(size, platform)
+    if operation == "barrier":
+        return stages * platform.latency
+    if operation in ("bcast", "reduce", "scatter", "gather"):
+        return stages * message
+    if operation == "allreduce":
+        # Reduce followed by broadcast along the same binomial tree.
+        return 2.0 * stages * message
+    if operation == "allgather":
+        # Ring algorithm: P-1 steps, each moving one per-rank block.
+        return (num_ranks - 1) * message
+    if operation == "alltoall":
+        # Pairwise exchange: P-1 steps of one block to a distinct peer.
+        return (num_ranks - 1) * message
+    raise SimulationError(f"no cost model for collective {operation!r}")

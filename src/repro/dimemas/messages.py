@@ -1,0 +1,51 @@
+"""In-flight message state shared by the matcher and the network."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.des import Environment, Event
+from repro.dimemas.protocol import Protocol
+
+
+class Message:
+    """One point-to-point message during replay.
+
+    The object is created by whichever side (send or receive) reaches the
+    matcher first and is completed by the other side.  Three events describe
+    its life cycle:
+
+    * ``recv_posted``    -- the receive has been posted;
+    * ``arrived``        -- the payload has fully arrived at the receiver;
+    * ``send_complete``  -- the sender may consider the send finished
+      (immediately for eager messages, at arrival for rendezvous messages).
+    """
+
+    __slots__ = (
+        "env", "src", "dst", "tag", "size", "protocol",
+        "send_posted", "recv_posted_flag", "started",
+        "recv_posted", "arrived", "send_complete",
+        "send_time", "transfer_start", "arrival_time",
+    )
+
+    def __init__(self, env: Environment, src: Optional[int] = None,
+                 dst: Optional[int] = None, tag: int = 0, size: int = 0):
+        self.env = env
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.size = size
+        self.protocol: Optional[Protocol] = None
+        self.send_posted = False
+        self.recv_posted_flag = False
+        self.started = False
+        self.recv_posted: Event = env.event(name="recv_posted")
+        self.arrived: Event = env.event(name="arrived")
+        self.send_complete: Event = env.event(name="send_complete")
+        self.send_time: Optional[float] = None
+        self.transfer_start: Optional[float] = None
+        self.arrival_time: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(src={self.src}, dst={self.dst}, tag={self.tag}, "
+                f"size={self.size}, protocol={self.protocol})")

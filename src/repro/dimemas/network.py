@@ -1,0 +1,112 @@
+"""The interconnect model: links, buses and transfer processes.
+
+The Dimemas network model charges every inter-node transfer
+``latency + size / bandwidth`` and limits concurrency three ways: a finite
+number of network buses shared by all transfers, and per-node input and
+output links.  Transfers between ranks mapped to the same node bypass the
+network and use the (faster) intra-node parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.des import Environment, Resource
+from repro.des.resources import InfiniteResource
+from repro.dimemas.messages import Message
+from repro.dimemas.platform import Platform
+from repro.paraver.timeline import Timeline
+
+LinkResource = Union[Resource, InfiniteResource]
+
+
+class NetworkStatistics:
+    """Aggregate counters maintained by the fabric."""
+
+    def __init__(self) -> None:
+        self.transfers = 0
+        self.bytes_transferred = 0
+        self.total_transfer_time = 0.0
+        self.total_queue_time = 0.0
+        self.intranode_transfers = 0
+
+    def record(self, size: int, queue_time: float, transfer_time: float,
+               intranode: bool) -> None:
+        self.transfers += 1
+        self.bytes_transferred += size
+        self.total_queue_time += queue_time
+        self.total_transfer_time += transfer_time
+        if intranode:
+            self.intranode_transfers += 1
+
+    @property
+    def mean_queue_time(self) -> float:
+        return self.total_queue_time / self.transfers if self.transfers else 0.0
+
+
+class NetworkFabric:
+    """Owns the contention resources and runs transfer processes."""
+
+    def __init__(self, env: Environment, platform: Platform, num_ranks: int,
+                 timeline: Optional[Timeline] = None):
+        self.env = env
+        self.platform = platform
+        self.num_ranks = num_ranks
+        self.timeline = timeline
+        self.statistics = NetworkStatistics()
+        self._buses = self._make_resource(platform.num_buses, "buses")
+        self._output_links: Dict[int, LinkResource] = {}
+        self._input_links: Dict[int, LinkResource] = {}
+
+    # -- resources --------------------------------------------------------
+    def _make_resource(self, capacity: int, name: str) -> LinkResource:
+        if capacity == 0:
+            return InfiniteResource(self.env, name=name)
+        return Resource(self.env, capacity=capacity, name=name)
+
+    def _output_link(self, node: int) -> LinkResource:
+        if node not in self._output_links:
+            self._output_links[node] = self._make_resource(
+                self.platform.output_links, f"out[{node}]")
+        return self._output_links[node]
+
+    def _input_link(self, node: int) -> LinkResource:
+        if node not in self._input_links:
+            self._input_links[node] = self._make_resource(
+                self.platform.input_links, f"in[{node}]")
+        return self._input_links[node]
+
+    # -- transfers ------------------------------------------------------------
+    def start_transfer(self, message: Message) -> None:
+        """Launch the transfer process for a matched message."""
+        self.env.process(self._transfer(message), name="transfer")
+
+    def _transfer(self, message: Message):
+        platform = self.platform
+        src_node = platform.node_of(message.src)
+        dst_node = platform.node_of(message.dst)
+        intranode = src_node == dst_node
+        requested_at = self.env.now
+        requests = []
+        if not intranode:
+            # Acquire in a fixed global order (output link, input link, bus)
+            # so transfers never hold resources in conflicting orders.
+            for resource in (self._output_link(src_node),
+                             self._input_link(dst_node), self._buses):
+                request = resource.request()
+                yield request
+                requests.append((resource, request))
+        message.transfer_start = self.env.now
+        queue_time = self.env.now - requested_at
+        duration = platform.transfer_time(message.size, intranode=intranode)
+        yield self.env.timeout(duration)
+        for resource, request in requests:
+            resource.release(request)
+        message.arrival_time = self.env.now
+        message.arrived.succeed(self.env.now)
+        self.statistics.record(message.size, queue_time, duration, intranode)
+        if self.timeline is not None:
+            self.timeline.add_communication(
+                src=message.src, dst=message.dst, size=message.size,
+                tag=message.tag, send_time=message.transfer_start,
+                recv_time=message.arrival_time)

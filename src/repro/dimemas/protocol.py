@@ -1,0 +1,27 @@
+"""Point-to-point protocol selection (eager vs rendezvous)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.dimemas.platform import Platform
+
+
+class Protocol(Enum):
+    """Transfer protocol of a point-to-point message."""
+
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+
+
+def select_protocol(size: int, platform: Platform) -> Protocol:
+    """Protocol used for a message of ``size`` bytes on ``platform``.
+
+    Messages up to the eager threshold are buffered at the receiver, so the
+    sender can proceed without waiting for the matching receive; larger
+    messages wait for the receive to be posted (rendezvous), which is how
+    production MPI libraries of the paper's era behave.
+    """
+    if size <= platform.eager_threshold:
+        return Protocol.EAGER
+    return Protocol.RENDEZVOUS

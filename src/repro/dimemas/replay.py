@@ -1,0 +1,226 @@
+"""Per-rank replay processes and the collective coordinator.
+
+Every rank of the trace becomes one DES process that walks its record list:
+computation bursts advance local time (scaled by the platform's relative CPU
+speed), point-to-point records go through the matcher and the network, and
+collective records synchronise through the :class:`CollectiveCoordinator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.des import Environment, Resource
+from repro.dimemas.collectives import collective_duration
+from repro.dimemas.matching import MessageMatcher
+from repro.dimemas.messages import Message
+from repro.dimemas.network import NetworkFabric
+from repro.dimemas.platform import Platform
+from repro.dimemas.results import RankStats
+from repro.errors import SimulationError
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import Timeline
+from repro.tracing.records import (
+    CollectiveRecord,
+    CpuBurst,
+    RecvRecord,
+    SendRecord,
+    WaitRecord,
+)
+from repro.tracing.timebase import TimeBase
+from repro.tracing.trace import Trace
+
+
+class _CollectiveInstance:
+    """One collective operation being synchronised across all ranks."""
+
+    def __init__(self, env: Environment, index: int):
+        self.index = index
+        self.operation: Optional[str] = None
+        self.count = 0
+        self.max_size = 0
+        self.all_arrived = env.event(name=f"collective[{index}]")
+        self.finish_time: float = 0.0
+
+
+class CollectiveCoordinator:
+    """Synchronises collective records across ranks and applies cost models."""
+
+    def __init__(self, env: Environment, platform: Platform, num_ranks: int):
+        self.env = env
+        self.platform = platform
+        self.num_ranks = num_ranks
+        self._instances: Dict[int, _CollectiveInstance] = {}
+
+    def enter(self, rank: int, record: CollectiveRecord, index: int) -> _CollectiveInstance:
+        """Rank ``rank`` enters its ``index``-th collective."""
+        instance = self._instances.get(index)
+        if instance is None:
+            instance = _CollectiveInstance(self.env, index)
+            self._instances[index] = instance
+        if instance.operation is None:
+            instance.operation = record.operation
+        elif instance.operation != record.operation:
+            raise SimulationError(
+                f"collective {index}: rank {rank} entered {record.operation!r} "
+                f"while others entered {instance.operation!r}")
+        instance.count += 1
+        instance.max_size = max(instance.max_size, record.size)
+        if instance.count == self.num_ranks:
+            duration = collective_duration(
+                instance.operation, instance.max_size, self.num_ranks, self.platform)
+            instance.finish_time = self.env.now + duration
+            instance.all_arrived.succeed(self.env.now)
+        return instance
+
+
+class ReplayEngine:
+    """Builds and runs the whole replay of one trace on one platform."""
+
+    def __init__(self, trace: Trace, platform: Platform, label: Optional[str] = None):
+        self.trace = trace
+        self.platform = platform
+        self.label = label or trace.metadata.get("name", "trace")
+        self.env = Environment()
+        self.timeline = Timeline(num_ranks=trace.num_ranks, name=self.label)
+        self.network = NetworkFabric(self.env, platform, trace.num_ranks, self.timeline)
+        self.matcher = MessageMatcher(self.env, platform, self.network)
+        self.coordinator = CollectiveCoordinator(self.env, platform, trace.num_ranks)
+        self.timebase = TimeBase(trace.mips)
+        self.stats = [RankStats(rank=r) for r in range(trace.num_ranks)]
+        self._progress: List[int] = [0] * trace.num_ranks
+        self._processes = []
+        self._cpus: Dict[int, Resource] = {}
+
+    # -- public ------------------------------------------------------------
+    def run(self) -> Tuple[float, List[RankStats], Timeline, Dict[str, float]]:
+        """Run the replay and return (total_time, stats, timeline, network stats)."""
+        for rank_trace in self.trace:
+            process = self.env.process(
+                self._rank_process(rank_trace.rank, rank_trace.records),
+                name=f"rank{rank_trace.rank}")
+            self._processes.append(process)
+        self.env.run()
+        self._check_finished()
+        total_time = max((stats.finish_time for stats in self.stats), default=0.0)
+        network_stats = {
+            "transfers": self.network.statistics.transfers,
+            "bytes_transferred": self.network.statistics.bytes_transferred,
+            "mean_queue_time": self.network.statistics.mean_queue_time,
+            "intranode_transfers": self.network.statistics.intranode_transfers,
+            "messages_matched": self.matcher.messages_matched,
+        }
+        return total_time, self.stats, self.timeline, network_stats
+
+    # -- internals ------------------------------------------------------------
+    def _check_finished(self) -> None:
+        stuck = [index for index, process in enumerate(self._processes)
+                 if not process.triggered]
+        if not stuck:
+            return
+        details = []
+        for rank in stuck:
+            position = self._progress[rank]
+            records = self.trace[rank].records
+            record = records[position] if position < len(records) else None
+            details.append(f"rank {rank} stuck at record {position} ({record!r})")
+        unmatched = self.matcher.unmatched()
+        raise SimulationError(
+            "replay deadlocked: " + "; ".join(details)
+            + f"; unmatched postings: {unmatched}")
+
+    def _cpu_resource(self, node: int) -> Optional[Resource]:
+        if not self.platform.cpu_contention:
+            return None
+        if node not in self._cpus:
+            self._cpus[node] = Resource(
+                self.env, capacity=self.platform.processors_per_node,
+                name=f"cpu[{node}]")
+        return self._cpus[node]
+
+    def _rank_process(self, rank: int, records):
+        env = self.env
+        stats = self.stats[rank]
+        timeline = self.timeline
+        requests: Dict[int, Tuple[str, Message]] = {}
+        collective_index = 0
+        mpi_overhead = self.platform.mpi_overhead
+        for position, record in enumerate(records):
+            self._progress[rank] = position
+            if mpi_overhead > 0 and not isinstance(record, CpuBurst):
+                # Fixed software cost of entering the MPI library (extension
+                # of the paper's time model, see Platform.mpi_overhead).
+                start = env.now
+                yield env.timeout(mpi_overhead)
+                stats.compute_time += env.now - start
+                timeline.add_interval(rank, start, env.now, ThreadState.RUNNING)
+            if isinstance(record, CpuBurst):
+                duration = self.timebase.seconds(
+                    record.instructions, self.platform.relative_cpu_speed)
+                cpu = self._cpu_resource(self.platform.node_of(rank))
+                if cpu is not None:
+                    queue_start = env.now
+                    grant = cpu.request()
+                    yield grant
+                    if env.now > queue_start:
+                        stats.cpu_queue_time += env.now - queue_start
+                        timeline.add_interval(rank, queue_start, env.now, ThreadState.IDLE)
+                start = env.now
+                yield env.timeout(duration)
+                stats.compute_time += env.now - start
+                timeline.add_interval(rank, start, env.now, ThreadState.RUNNING)
+                if cpu is not None:
+                    cpu.release(grant)
+            elif isinstance(record, SendRecord):
+                message = self.matcher.post_send(rank, record)
+                stats.bytes_sent += record.size
+                stats.messages_sent += 1
+                if record.blocking:
+                    start = env.now
+                    yield message.send_complete
+                    stats.send_wait_time += env.now - start
+                    timeline.add_interval(rank, start, env.now, ThreadState.SEND_WAIT)
+                else:
+                    requests[record.request] = ("send", message)
+            elif isinstance(record, RecvRecord):
+                message = self.matcher.post_recv(rank, record)
+                stats.bytes_received += record.size
+                stats.messages_received += 1
+                if record.blocking:
+                    start = env.now
+                    yield message.arrived
+                    stats.recv_wait_time += env.now - start
+                    timeline.add_interval(rank, start, env.now, ThreadState.RECV_WAIT)
+                else:
+                    requests[record.request] = ("recv", message)
+            elif isinstance(record, WaitRecord):
+                events = []
+                for request_id in record.requests:
+                    try:
+                        side, message = requests.pop(request_id)
+                    except KeyError:
+                        raise SimulationError(
+                            f"rank {rank} waits on unknown request {request_id}") from None
+                    events.append(message.send_complete if side == "send"
+                                  else message.arrived)
+                if not events:
+                    continue
+                start = env.now
+                yield env.all_of(events)
+                stats.request_wait_time += env.now - start
+                timeline.add_interval(rank, start, env.now, ThreadState.REQUEST_WAIT)
+            elif isinstance(record, CollectiveRecord):
+                start = env.now
+                instance = self.coordinator.enter(rank, record, collective_index)
+                collective_index += 1
+                stats.collectives += 1
+                yield instance.all_arrived
+                remaining = instance.finish_time - env.now
+                if remaining > 0:
+                    yield env.timeout(remaining)
+                stats.collective_time += env.now - start
+                timeline.add_interval(rank, start, env.now, ThreadState.COLLECTIVE)
+            else:
+                raise SimulationError(f"rank {rank}: unknown record {record!r}")
+        self._progress[rank] = len(records)
+        stats.finish_time = env.now

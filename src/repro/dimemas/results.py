@@ -1,0 +1,109 @@
+"""Per-rank statistics and the overall simulation result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.dimemas.platform import Platform
+from repro.errors import AnalysisError
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import Timeline
+
+
+@dataclass
+class RankStats:
+    """Time and volume accounting of a single rank."""
+
+    rank: int
+    finish_time: float = 0.0
+    compute_time: float = 0.0
+    send_wait_time: float = 0.0
+    recv_wait_time: float = 0.0
+    request_wait_time: float = 0.0
+    collective_time: float = 0.0
+    cpu_queue_time: float = 0.0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    collectives: int = 0
+
+    @property
+    def communication_time(self) -> float:
+        """Time this rank spent blocked on any communication."""
+        return (self.send_wait_time + self.recv_wait_time
+                + self.request_wait_time + self.collective_time)
+
+    @property
+    def blocked_fraction(self) -> float:
+        """Fraction of this rank's execution spent blocked."""
+        if self.finish_time <= 0:
+            return 0.0
+        return self.communication_time / self.finish_time
+
+
+@dataclass
+class SimulationResult:
+    """The reconstructed time behaviour of one trace on one platform."""
+
+    platform: Platform
+    total_time: float
+    ranks: List[RankStats]
+    timeline: Timeline
+    network: Dict[str, Any] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.ranks)
+
+    # -- aggregates ---------------------------------------------------------
+    def total_compute_time(self) -> float:
+        return sum(r.compute_time for r in self.ranks)
+
+    def total_communication_time(self) -> float:
+        return sum(r.communication_time for r in self.ranks)
+
+    def max_compute_time(self) -> float:
+        return max(r.compute_time for r in self.ranks)
+
+    def parallel_efficiency(self) -> float:
+        """Average fraction of the execution the ranks spend computing."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.total_compute_time() / (self.total_time * self.num_ranks)
+
+    def communication_fraction(self) -> float:
+        """Average fraction of the execution the ranks spend blocked."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.total_communication_time() / (self.total_time * self.num_ranks)
+
+    def state_profile(self) -> Dict[ThreadState, float]:
+        return self.timeline.state_profile()
+
+    def rank(self, rank: int) -> RankStats:
+        if not 0 <= rank < self.num_ranks:
+            raise AnalysisError(f"rank {rank} outside result of {self.num_ranks} ranks")
+        return self.ranks[rank]
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """How much faster this result is than ``other`` (>1 = faster)."""
+        if self.total_time <= 0:
+            raise AnalysisError("cannot compute a speedup over a zero-time result")
+        return other.total_time / self.total_time
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary dictionary used by reports and the CLI."""
+        return {
+            "platform": self.platform.name,
+            "bandwidth_mbps": self.platform.bandwidth_mbps,
+            "latency": self.platform.latency,
+            "num_ranks": self.num_ranks,
+            "total_time": self.total_time,
+            "parallel_efficiency": self.parallel_efficiency(),
+            "communication_fraction": self.communication_fraction(),
+            "bytes_transferred": self.network.get("bytes_transferred", 0),
+            "label": self.metadata.get("label"),
+        }

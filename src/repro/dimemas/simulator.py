@@ -1,0 +1,46 @@
+"""The simulator facade."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dimemas.platform import Platform
+from repro.dimemas.replay import ReplayEngine
+from repro.dimemas.results import SimulationResult
+from repro.tracing.trace import Trace
+
+
+class DimemasSimulator:
+    """Replays traces on configurable platforms.
+
+    The simulator is stateless between calls: every :meth:`simulate`
+    invocation builds a fresh replay engine, so the same simulator object can
+    be reused across a bandwidth sweep.
+    """
+
+    def __init__(self, platform: Optional[Platform] = None):
+        self.platform = platform or Platform()
+
+    def simulate(self, trace: Trace, platform: Optional[Platform] = None,
+                 label: Optional[str] = None) -> SimulationResult:
+        """Reconstruct the time behaviour of ``trace`` on ``platform``."""
+        platform = platform or self.platform
+        engine = ReplayEngine(trace, platform, label=label)
+        total_time, stats, timeline, network_stats = engine.run()
+        metadata = dict(trace.metadata)
+        if label is not None:
+            metadata["label"] = label
+        return SimulationResult(
+            platform=platform,
+            total_time=total_time,
+            ranks=stats,
+            timeline=timeline,
+            network=network_stats,
+            metadata=metadata,
+        )
+
+
+def simulate(trace: Trace, platform: Optional[Platform] = None,
+             label: Optional[str] = None) -> SimulationResult:
+    """Convenience function: simulate ``trace`` on ``platform``."""
+    return DimemasSimulator(platform).simulate(trace, label=label)

@@ -1,0 +1,33 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class TracingError(ReproError):
+    """The tracing virtual machine detected an invalid application action."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or trace object is malformed."""
+
+
+class SimulationError(ReproError):
+    """The replay simulator reached an invalid state (e.g. deadlock)."""
+
+
+class MatchingError(ReproError):
+    """Cross-rank message matching failed (unmatched send/recv or collective)."""
+
+
+class TransformError(ReproError):
+    """The overlap transformation could not be applied to a trace."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine was given inconsistent inputs."""

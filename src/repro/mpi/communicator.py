@@ -1,0 +1,79 @@
+"""Communicators: ordered groups of ranks."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class Communicator:
+    """An ordered group of world ranks.
+
+    The simulation itself replays world ranks; communicators are used by the
+    application models to organise neighbourhoods and sub-groups (e.g. row
+    and column communicators of a 2-D decomposition).
+    """
+
+    def __init__(self, ranks: Sequence[int], name: str = "comm"):
+        ranks = list(ranks)
+        if not ranks:
+            raise ConfigurationError("a communicator cannot be empty")
+        if len(set(ranks)) != len(ranks):
+            raise ConfigurationError(f"duplicate ranks in communicator: {ranks}")
+        if any(r < 0 for r in ranks):
+            raise ConfigurationError(f"negative rank in communicator: {ranks}")
+        self.name = name
+        self._ranks = ranks
+
+    @classmethod
+    def world(cls, size: int) -> "Communicator":
+        """The world communicator of ``size`` ranks."""
+        if size < 1:
+            raise ConfigurationError(f"world size must be >= 1, got {size!r}")
+        return cls(list(range(size)), name="MPI_COMM_WORLD")
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def ranks(self) -> List[int]:
+        return list(self._ranks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ranks)
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._ranks
+
+    def rank_of(self, world_rank: int) -> int:
+        """Local rank of a world rank inside this communicator."""
+        try:
+            return self._ranks.index(world_rank)
+        except ValueError:
+            raise ConfigurationError(
+                f"world rank {world_rank} is not part of {self.name}") from None
+
+    def world_rank(self, local_rank: int) -> int:
+        """World rank of a local rank."""
+        if not 0 <= local_rank < self.size:
+            raise ConfigurationError(
+                f"local rank {local_rank} outside communicator of size {self.size}")
+        return self._ranks[local_rank]
+
+    def split(self, color_of: Sequence[int], name: Optional[str] = None) -> List["Communicator"]:
+        """Split into sub-communicators by colour (one colour per member)."""
+        if len(color_of) != self.size:
+            raise ConfigurationError(
+                "split() needs exactly one colour per communicator member")
+        groups = {}
+        for local, color in enumerate(color_of):
+            groups.setdefault(color, []).append(self._ranks[local])
+        return [
+            Communicator(members, name=f"{name or self.name}.{color}")
+            for color, members in sorted(groups.items())
+        ]
+
+    def __repr__(self) -> str:
+        return f"Communicator({self.name!r}, size={self.size})"

@@ -1,0 +1,46 @@
+"""MPI datatypes (only the size matters for the simulation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype with a name and a size in bytes."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(
+                f"datatype size must be positive, got {self.size!r}")
+
+    def contiguous(self, count: int) -> "Datatype":
+        """A derived datatype of ``count`` contiguous elements."""
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count!r}")
+        return Datatype(f"{self.name}[{count}]", self.size * count)
+
+    def vector(self, count: int, blocklength: int, stride: int) -> "Datatype":
+        """A strided (vector) datatype; only the payload size is modelled."""
+        if count <= 0 or blocklength <= 0:
+            raise ConfigurationError("count and blocklength must be positive")
+        if stride < blocklength:
+            raise ConfigurationError("stride must be >= blocklength")
+        return Datatype(
+            f"{self.name}_vector({count},{blocklength},{stride})",
+            self.size * count * blocklength)
+
+
+BYTE = Datatype("MPI_BYTE", 1)
+INT = Datatype("MPI_INT", 4)
+FLOAT = Datatype("MPI_FLOAT", 4)
+DOUBLE = Datatype("MPI_DOUBLE", 8)
+COMPLEX = Datatype("MPI_DOUBLE_COMPLEX", 16)
+
+#: All predefined datatypes keyed by name.
+PREDEFINED = {dt.name: dt for dt in (BYTE, INT, FLOAT, DOUBLE, COMPLEX)}

@@ -1,0 +1,157 @@
+"""Process topologies used by the application models."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class CartesianTopology:
+    """An N-dimensional Cartesian process grid (MPI_Cart semantics)."""
+
+    def __init__(self, dims: Sequence[int], periodic: Optional[Sequence[bool]] = None):
+        dims = list(dims)
+        if not dims or any(d < 1 for d in dims):
+            raise ConfigurationError(f"invalid Cartesian dimensions: {dims}")
+        if periodic is None:
+            periodic = [False] * len(dims)
+        periodic = list(periodic)
+        if len(periodic) != len(dims):
+            raise ConfigurationError("periodic flags must match the number of dimensions")
+        self.dims = dims
+        self.periodic = periodic
+
+    @classmethod
+    def square(cls, num_ranks: int, ndims: int = 2,
+               periodic: bool = False) -> "CartesianTopology":
+        """A balanced grid for ``num_ranks`` processes (MPI_Dims_create-like)."""
+        dims = balanced_dims(num_ranks, ndims)
+        return cls(dims, [periodic] * ndims)
+
+    @property
+    def size(self) -> int:
+        product = 1
+        for dim in self.dims:
+            product *= dim
+        return product
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Cartesian coordinates of ``rank`` (row-major order)."""
+        if not 0 <= rank < self.size:
+            raise ConfigurationError(f"rank {rank} outside grid of size {self.size}")
+        coords = []
+        remainder = rank
+        for dim in reversed(self.dims):
+            coords.append(remainder % dim)
+            remainder //= dim
+        return tuple(reversed(coords))
+
+    def rank(self, coords: Sequence[int]) -> int:
+        """Rank at the given coordinates."""
+        coords = list(coords)
+        if len(coords) != self.ndims:
+            raise ConfigurationError(
+                f"expected {self.ndims} coordinates, got {len(coords)}")
+        rank = 0
+        for dim, coord in zip(self.dims, coords):
+            if not 0 <= coord < dim:
+                raise ConfigurationError(f"coordinate {coord} outside dimension {dim}")
+            rank = rank * dim + coord
+        return rank
+
+    def shift(self, rank: int, dimension: int, displacement: int) -> Optional[int]:
+        """Neighbour of ``rank`` along ``dimension`` (None outside a non-periodic edge)."""
+        if not 0 <= dimension < self.ndims:
+            raise ConfigurationError(f"invalid dimension {dimension}")
+        coords = list(self.coords(rank))
+        coords[dimension] += displacement
+        dim = self.dims[dimension]
+        if self.periodic[dimension]:
+            coords[dimension] %= dim
+        elif not 0 <= coords[dimension] < dim:
+            return None
+        return self.rank(coords)
+
+    def neighbors(self, rank: int) -> Dict[Tuple[int, int], int]:
+        """All face neighbours keyed by (dimension, direction)."""
+        result: Dict[Tuple[int, int], int] = {}
+        for dimension in range(self.ndims):
+            for direction in (-1, +1):
+                neighbor = self.shift(rank, dimension, direction)
+                if neighbor is not None and neighbor != rank:
+                    result[(dimension, direction)] = neighbor
+        return result
+
+
+class GraphTopology:
+    """An explicit neighbour graph (MPI_Graph semantics)."""
+
+    def __init__(self, adjacency: Dict[int, Sequence[int]]):
+        if not adjacency:
+            raise ConfigurationError("graph topology needs at least one vertex")
+        self._adjacency = {rank: list(peers) for rank, peers in adjacency.items()}
+        size = max(self._adjacency) + 1
+        for rank, peers in self._adjacency.items():
+            for peer in peers:
+                if not 0 <= peer < size:
+                    raise ConfigurationError(
+                        f"neighbour {peer} of rank {rank} outside topology")
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def neighbors(self, rank: int) -> List[int]:
+        return list(self._adjacency.get(rank, []))
+
+    def degree(self, rank: int) -> int:
+        return len(self._adjacency.get(rank, []))
+
+    def is_symmetric(self) -> bool:
+        """True if every edge has a reverse edge (needed for exchanges)."""
+        for rank, peers in self._adjacency.items():
+            for peer in peers:
+                if rank not in self._adjacency.get(peer, []):
+                    return False
+        return True
+
+
+def balanced_dims(num_ranks: int, ndims: int) -> List[int]:
+    """Factor ``num_ranks`` into ``ndims`` balanced dimensions.
+
+    Mirrors the behaviour of ``MPI_Dims_create``: the product of the returned
+    dimensions equals ``num_ranks`` and the dimensions are as close to each
+    other as possible.
+    """
+    if num_ranks < 1:
+        raise ConfigurationError(f"num_ranks must be >= 1, got {num_ranks!r}")
+    if ndims < 1:
+        raise ConfigurationError(f"ndims must be >= 1, got {ndims!r}")
+    dims = [1] * ndims
+    remaining = num_ranks
+    # Greedily assign prime factors (largest first) to the smallest dimension.
+    for factor in _prime_factors(remaining):
+        smallest = dims.index(min(dims))
+        dims[smallest] *= factor
+    dims.sort(reverse=True)
+    return dims
+
+
+def _prime_factors(value: int) -> List[int]:
+    factors: List[int] = []
+    divisor = 2
+    while divisor * divisor <= value:
+        while value % divisor == 0:
+            factors.append(divisor)
+            value //= divisor
+        divisor += 1
+    if value > 1:
+        factors.append(value)
+    factors.sort(reverse=True)
+    return factors

@@ -1,0 +1,141 @@
+"""Cross-rank trace validation.
+
+The replay simulator assumes the trace describes a deadlock-free, matched
+MPI program.  The :class:`MatchingValidator` checks that assumption right
+after tracing:
+
+* every send from ``src`` to ``dst`` with a given tag has a matching receive
+  (same ordinal within the (src, dst, tag) stream) with the same size;
+* every non-blocking request is waited for exactly once;
+* all ranks execute the same sequence of collectives with compatible
+  parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import MatchingError
+from repro.tracing.records import CollectiveRecord, RecvRecord, SendRecord, WaitRecord
+from repro.tracing.trace import Trace
+
+
+@dataclass
+class ValidationReport:
+    """Summary of a successful validation."""
+
+    num_messages: int = 0
+    num_collectives: int = 0
+    num_requests: int = 0
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
+class MatchingValidator:
+    """Checks that a trace is a consistent MPI program."""
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+
+    def validate(self, trace: Trace) -> ValidationReport:
+        """Validate ``trace``; raise :class:`MatchingError` when strict."""
+        report = ValidationReport()
+        self._check_point_to_point(trace, report)
+        self._check_requests(trace, report)
+        self._check_collectives(trace, report)
+        if self.strict and report.issues:
+            raise MatchingError("; ".join(report.issues[:10]))
+        return report
+
+    # -- point-to-point -----------------------------------------------------
+    def _check_point_to_point(self, trace: Trace, report: ValidationReport) -> None:
+        sends: Dict[Tuple[int, int, int], List[SendRecord]] = {}
+        recvs: Dict[Tuple[int, int, int], List[RecvRecord]] = {}
+        for rank_trace in trace:
+            for record in rank_trace:
+                if isinstance(record, SendRecord):
+                    sends.setdefault((rank_trace.rank, record.dst, record.tag),
+                                     []).append(record)
+                elif isinstance(record, RecvRecord):
+                    recvs.setdefault((record.src, rank_trace.rank, record.tag),
+                                     []).append(record)
+        for key, send_list in sends.items():
+            recv_list = recvs.get(key, [])
+            src, dst, tag = key
+            if len(send_list) != len(recv_list):
+                report.issues.append(
+                    f"{len(send_list)} sends but {len(recv_list)} receives "
+                    f"for src={src} dst={dst} tag={tag}")
+                continue
+            for ordinal, (send, recv) in enumerate(zip(send_list, recv_list)):
+                if send.size != recv.size:
+                    report.issues.append(
+                        f"size mismatch for message {ordinal} src={src} dst={dst} "
+                        f"tag={tag}: send {send.size} bytes, recv {recv.size} bytes")
+                if send.pair_seq != ordinal or recv.pair_seq != ordinal:
+                    report.issues.append(
+                        f"inconsistent pair sequence for message {ordinal} "
+                        f"src={src} dst={dst} tag={tag}")
+            report.num_messages += len(send_list)
+        for key, recv_list in recvs.items():
+            if key not in sends:
+                src, dst, tag = key
+                report.issues.append(
+                    f"{len(recv_list)} receives without any send "
+                    f"for src={src} dst={dst} tag={tag}")
+
+    # -- requests ----------------------------------------------------------
+    def _check_requests(self, trace: Trace, report: ValidationReport) -> None:
+        for rank_trace in trace:
+            issued = set()
+            waited: List[int] = []
+            for record in rank_trace:
+                if isinstance(record, (SendRecord, RecvRecord)) and not record.blocking:
+                    if record.request is None:
+                        report.issues.append(
+                            f"rank {rank_trace.rank}: non-blocking record without request id")
+                    else:
+                        issued.add(record.request)
+                elif isinstance(record, WaitRecord):
+                    waited.extend(record.requests)
+            report.num_requests += len(issued)
+            waited_set = set(waited)
+            if len(waited) != len(waited_set):
+                report.issues.append(
+                    f"rank {rank_trace.rank}: some requests are waited for more than once")
+            missing = issued - waited_set
+            if missing:
+                report.issues.append(
+                    f"rank {rank_trace.rank}: requests never waited for: {sorted(missing)}")
+            unknown = waited_set - issued
+            if unknown:
+                report.issues.append(
+                    f"rank {rank_trace.rank}: waits on unknown requests: {sorted(unknown)}")
+
+    # -- collectives ----------------------------------------------------------
+    def _check_collectives(self, trace: Trace, report: ValidationReport) -> None:
+        sequences = []
+        for rank_trace in trace:
+            sequences.append([
+                (record.operation, record.root)
+                for record in rank_trace
+                if isinstance(record, CollectiveRecord)
+            ])
+        reference = sequences[0]
+        for rank, sequence in enumerate(sequences[1:], start=1):
+            if len(sequence) != len(reference):
+                report.issues.append(
+                    f"rank {rank} executes {len(sequence)} collectives, "
+                    f"rank 0 executes {len(reference)}")
+                continue
+            for index, (entry, expected) in enumerate(zip(sequence, reference)):
+                if entry != expected:
+                    report.issues.append(
+                        f"collective {index} differs between rank 0 {expected} "
+                        f"and rank {rank} {entry}")
+                    break
+        report.num_collectives = len(reference)

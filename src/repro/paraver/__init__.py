@@ -1,0 +1,30 @@
+"""Paraver-like visualisation substrate.
+
+The paper uses Paraver to inspect the reconstructed time behaviours of the
+original and overlapped executions, both qualitatively (Gantt views) and
+quantitatively (time spent per state).  This package provides:
+
+* :mod:`repro.paraver.states`   -- the thread-state semantics;
+* :mod:`repro.paraver.timeline` -- state intervals and communication lines;
+* :mod:`repro.paraver.prv`      -- export to the Paraver ``.prv`` text format;
+* :mod:`repro.paraver.ascii`    -- ASCII Gantt rendering for terminals;
+* :mod:`repro.paraver.compare`  -- quantitative comparison of two timelines.
+"""
+
+from repro.paraver.ascii import render_gantt
+from repro.paraver.compare import TimelineComparison, compare_timelines
+from repro.paraver.prv import export_prv, to_prv
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import CommunicationEvent, StateInterval, Timeline
+
+__all__ = [
+    "CommunicationEvent",
+    "StateInterval",
+    "ThreadState",
+    "Timeline",
+    "TimelineComparison",
+    "compare_timelines",
+    "export_prv",
+    "render_gantt",
+    "to_prv",
+]

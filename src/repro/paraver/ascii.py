@@ -1,0 +1,81 @@
+"""ASCII Gantt rendering of timelines.
+
+Every rank becomes one row; the simulated time axis is divided into equally
+sized columns and each column shows the state the rank spent most of that
+column in, using the one-character glyphs defined by
+:class:`~repro.paraver.states.ThreadState`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import Timeline
+
+
+def render_gantt(timeline: Timeline, width: int = 80,
+                 title: Optional[str] = None) -> str:
+    """Render ``timeline`` as a multi-line ASCII Gantt chart."""
+    if width < 10:
+        raise AnalysisError(f"gantt width must be >= 10, got {width!r}")
+    duration = timeline.duration
+    header = title or timeline.name
+    lines: List[str] = [f"== {header} (duration {duration:.6f} s) =="]
+    if duration <= 0:
+        lines.append("(empty timeline)")
+        return "\n".join(lines)
+    column_width = duration / width
+    for rank in range(timeline.num_ranks):
+        row = _render_rank_row(timeline, rank, width, column_width)
+        lines.append(f"rank {rank:>3} |{row}|")
+    lines.append(_legend())
+    return "\n".join(lines)
+
+
+def _render_rank_row(timeline: Timeline, rank: int, width: int,
+                     column_width: float) -> str:
+    intervals = timeline.rank_intervals(rank)
+    glyphs: List[str] = []
+    for column in range(width):
+        column_start = column * column_width
+        column_end = column_start + column_width
+        occupancy: Dict[ThreadState, float] = {}
+        for interval in intervals:
+            if interval.end <= column_start:
+                continue
+            if interval.start >= column_end:
+                break
+            overlap = min(interval.end, column_end) - max(interval.start, column_start)
+            if overlap > 0:
+                occupancy[interval.state] = occupancy.get(interval.state, 0.0) + overlap
+        if occupancy:
+            dominant = max(occupancy.items(), key=lambda item: item[1])[0]
+            glyphs.append(dominant.glyph)
+        else:
+            glyphs.append(ThreadState.IDLE.glyph)
+    return "".join(glyphs)
+
+
+def _legend() -> str:
+    parts = [f"{state.glyph}={state.label}" for state in ThreadState]
+    return "legend: " + ", ".join(parts)
+
+
+def render_side_by_side(first: Timeline, second: Timeline, width: int = 60) -> str:
+    """Render two timelines one above the other on a shared time scale.
+
+    The shared scale makes the speedup visually obvious: the shorter
+    execution simply stops earlier on the axis.
+    """
+    shared = max(first.duration, second.duration)
+    blocks: List[str] = []
+    for timeline in (first, second):
+        if shared <= 0:
+            blocks.append(f"== {timeline.name} == (empty)")
+            continue
+        effective_width = max(1, int(round(width * timeline.duration / shared)))
+        chart = render_gantt(timeline, width=effective_width, title=timeline.name)
+        blocks.append(chart)
+    return "\n\n".join(blocks)

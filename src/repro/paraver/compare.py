@@ -1,0 +1,83 @@
+"""Quantitative comparison of two timelines.
+
+This is the "compare the non-overlapped and overlapped executions both
+quantitatively and qualitatively" part of the paper's environment: given the
+reconstructed original and overlapped time behaviours it reports the
+speedup, the per-state time deltas and a textual summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import AnalysisError
+from repro.paraver.ascii import render_side_by_side
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import Timeline
+
+
+@dataclass
+class TimelineComparison:
+    """Result of comparing a baseline timeline against a candidate."""
+
+    baseline_name: str
+    candidate_name: str
+    baseline_duration: float
+    candidate_duration: float
+    state_deltas: Dict[ThreadState, float] = field(default_factory=dict)
+    baseline_profile: Dict[ThreadState, float] = field(default_factory=dict)
+    candidate_profile: Dict[ThreadState, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time divided by candidate time (>1 means candidate faster)."""
+        if self.candidate_duration <= 0:
+            raise AnalysisError("candidate timeline has zero duration")
+        return self.baseline_duration / self.candidate_duration
+
+    @property
+    def improvement_percent(self) -> float:
+        """Speedup expressed the way the paper reports it (30% == 1.3x)."""
+        return (self.speedup - 1.0) * 100.0
+
+    def summary(self) -> str:
+        lines: List[str] = [
+            f"baseline  {self.baseline_name}: {self.baseline_duration:.6f} s",
+            f"candidate {self.candidate_name}: {self.candidate_duration:.6f} s",
+            f"speedup: {self.speedup:.3f}x ({self.improvement_percent:+.1f}%)",
+            "state deltas (candidate - baseline, rank-seconds):",
+        ]
+        for state in ThreadState:
+            delta = self.state_deltas.get(state, 0.0)
+            if abs(delta) > 1e-12:
+                lines.append(f"  {state.label:<22} {delta:+.6f}")
+        return "\n".join(lines)
+
+
+def compare_timelines(baseline: Timeline, candidate: Timeline) -> TimelineComparison:
+    """Compare two timelines of the same application."""
+    if baseline.num_ranks != candidate.num_ranks:
+        raise AnalysisError(
+            "timelines describe different numbers of ranks "
+            f"({baseline.num_ranks} vs {candidate.num_ranks})")
+    baseline_profile = baseline.state_profile()
+    candidate_profile = candidate.state_profile()
+    deltas = {
+        state: candidate_profile.get(state, 0.0) - baseline_profile.get(state, 0.0)
+        for state in ThreadState
+    }
+    return TimelineComparison(
+        baseline_name=baseline.name,
+        candidate_name=candidate.name,
+        baseline_duration=baseline.duration,
+        candidate_duration=candidate.duration,
+        state_deltas=deltas,
+        baseline_profile=baseline_profile,
+        candidate_profile=candidate_profile,
+    )
+
+
+def side_by_side(baseline: Timeline, candidate: Timeline, width: int = 60) -> str:
+    """Qualitative (visual) comparison on a shared time scale."""
+    return render_side_by_side(baseline, candidate, width=width)

@@ -1,0 +1,55 @@
+"""Thread-state semantics for timelines.
+
+The integer values follow the Paraver convention for the states that exist
+there (0 idle, 1 running, 3 waiting a message, 4 blocked in send, 5 in a
+collective/synchronisation, 6 waiting for a request).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class ThreadState(IntEnum):
+    """State of a rank during a timeline interval."""
+
+    IDLE = 0
+    RUNNING = 1
+    RECV_WAIT = 3
+    SEND_WAIT = 4
+    COLLECTIVE = 5
+    REQUEST_WAIT = 6
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+    @property
+    def glyph(self) -> str:
+        """One-character symbol used by the ASCII Gantt renderer."""
+        return _GLYPHS[self]
+
+    @classmethod
+    def blocking_states(cls) -> tuple:
+        """States in which the rank makes no computational progress."""
+        return (cls.IDLE, cls.RECV_WAIT, cls.SEND_WAIT, cls.COLLECTIVE,
+                cls.REQUEST_WAIT)
+
+
+_LABELS = {
+    ThreadState.IDLE: "Idle",
+    ThreadState.RUNNING: "Running",
+    ThreadState.RECV_WAIT: "Waiting a message",
+    ThreadState.SEND_WAIT: "Blocked in send",
+    ThreadState.COLLECTIVE: "Group communication",
+    ThreadState.REQUEST_WAIT: "Waiting for request",
+}
+
+_GLYPHS = {
+    ThreadState.IDLE: ".",
+    ThreadState.RUNNING: "#",
+    ThreadState.RECV_WAIT: "r",
+    ThreadState.SEND_WAIT: "s",
+    ThreadState.COLLECTIVE: "C",
+    ThreadState.REQUEST_WAIT: "w",
+}

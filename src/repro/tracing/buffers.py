@@ -1,0 +1,73 @@
+"""Communication-buffer handles.
+
+A :class:`Buffer` identifies a region of application memory that is used as
+the payload of point-to-point messages.  The tracer tracks stores and loads
+to buffers; the buffer itself only carries identity and size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import TracingError
+
+
+class Buffer:
+    """A named communication buffer of a fixed size in bytes."""
+
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: int):
+        if not name:
+            raise TracingError("buffer name must be non-empty")
+        if size <= 0:
+            raise TracingError(f"buffer size must be positive, got {size!r}")
+        self.name = name
+        self.size = int(size)
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.name!r}, size={self.size})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Buffer)
+                and other.name == self.name and other.size == self.size)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.size))
+
+
+class BufferRegistry:
+    """Per-rank registry so a buffer name maps to a single size."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, Buffer] = {}
+
+    def get_or_create(self, name: str, size: int) -> Buffer:
+        """Return the buffer called ``name``, creating it on first use.
+
+        Re-declaring an existing buffer with a different size is an error: the
+        tracer identifies buffers by name, so a silent size change would
+        corrupt the production/consumption bookkeeping.
+        """
+        existing = self._buffers.get(name)
+        if existing is not None:
+            if existing.size != int(size):
+                raise TracingError(
+                    f"buffer {name!r} re-declared with size {size} "
+                    f"(previously {existing.size})")
+            return existing
+        buffer = Buffer(name, size)
+        self._buffers[name] = buffer
+        return buffer
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def __getitem__(self, name: str) -> Buffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise TracingError(f"unknown buffer {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._buffers)

@@ -1,0 +1,191 @@
+"""The programming interface application models run against.
+
+A :class:`RankContext` is handed to the ``run`` method of an application
+model once per rank.  It exposes a compute/load/store API plus a small MPI
+subset (point-to-point, non-blocking operations and the common collectives).
+All calls are forwarded to the per-rank tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.errors import TracingError
+from repro.mpi.datatypes import Datatype, DOUBLE
+from repro.tracing.buffers import Buffer, BufferRegistry
+from repro.tracing.tracer import RankTracer
+
+
+class RequestHandle:
+    """Opaque handle returned by non-blocking operations."""
+
+    __slots__ = ("request_id", "kind")
+
+    def __init__(self, request_id: int, kind: str):
+        self.request_id = request_id
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"RequestHandle({self.kind}, id={self.request_id})"
+
+
+class RankContext:
+    """Execution context of one rank of an application model."""
+
+    def __init__(self, rank: int, num_ranks: int, tracer: RankTracer):
+        self._rank = rank
+        self._num_ranks = num_ranks
+        self._tracer = tracer
+        self._buffers = BufferRegistry()
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank."""
+        return self._rank
+
+    @property
+    def num_ranks(self) -> int:
+        """Size of the (world) communicator."""
+        return self._num_ranks
+
+    # -- memory ---------------------------------------------------------------
+    def buffer(self, name: str, size: int) -> Buffer:
+        """Declare (or fetch) a communication buffer of ``size`` bytes."""
+        return self._buffers.get_or_create(name, size)
+
+    def compute(self, instructions: float) -> None:
+        """Execute ``instructions`` of computation."""
+        self._tracer.compute(instructions)
+
+    def write(self, buffer: Buffer, lo: float = 0.0, hi: float = 1.0) -> None:
+        """Store into the fraction ``[lo, hi)`` of ``buffer``."""
+        self._tracer.write(buffer, lo, hi)
+
+    def read(self, buffer: Buffer, lo: float = 0.0, hi: float = 1.0) -> None:
+        """Load from the fraction ``[lo, hi)`` of ``buffer``."""
+        self._tracer.read(buffer, lo, hi)
+
+    def compute_producing(self, buffer: Buffer, instructions: float,
+                          segments: int = 8, start: float = 0.0,
+                          end: float = 1.0) -> None:
+        """Compute while progressively producing ``buffer``.
+
+        The burst is divided into ``segments`` equal pieces; after each piece
+        the corresponding slice of ``[start, end)`` of the buffer is written.
+        This models a computation whose output is finalised progressively
+        (an *ideal* producer in the paper's terminology), which is exactly
+        what restructured code would look like.
+        """
+        self._check_segments(segments)
+        span = end - start
+        piece = instructions / segments
+        for index in range(segments):
+            self._tracer.compute(piece)
+            lo = start + span * index / segments
+            hi = start + span * (index + 1) / segments
+            self._tracer.write(buffer, lo, hi)
+
+    def compute_consuming(self, buffer: Buffer, instructions: float,
+                          segments: int = 8, start: float = 0.0,
+                          end: float = 1.0) -> None:
+        """Compute while progressively consuming ``buffer`` (reads first)."""
+        self._check_segments(segments)
+        span = end - start
+        piece = instructions / segments
+        for index in range(segments):
+            lo = start + span * index / segments
+            hi = start + span * (index + 1) / segments
+            self._tracer.read(buffer, lo, hi)
+            self._tracer.compute(piece)
+
+    # -- point-to-point --------------------------------------------------------
+    def send(self, dst: int, buffer: Optional[Buffer] = None,
+             size: Optional[int] = None, tag: int = 0) -> None:
+        """Blocking send of ``buffer`` (or ``size`` bytes) to ``dst``."""
+        self._tracer.send(dst, self._size_of(buffer, size), tag=tag,
+                          buffer=buffer, blocking=True)
+
+    def recv(self, src: int, buffer: Optional[Buffer] = None,
+             size: Optional[int] = None, tag: int = 0) -> None:
+        """Blocking receive from ``src`` into ``buffer``."""
+        self._tracer.recv(src, self._size_of(buffer, size), tag=tag,
+                          buffer=buffer, blocking=True)
+
+    def isend(self, dst: int, buffer: Optional[Buffer] = None,
+              size: Optional[int] = None, tag: int = 0) -> RequestHandle:
+        """Non-blocking send; complete it with :meth:`wait`."""
+        request = self._tracer.send(dst, self._size_of(buffer, size), tag=tag,
+                                    buffer=buffer, blocking=False)
+        return RequestHandle(request, "isend")
+
+    def irecv(self, src: int, buffer: Optional[Buffer] = None,
+              size: Optional[int] = None, tag: int = 0) -> RequestHandle:
+        """Non-blocking receive; complete it with :meth:`wait`."""
+        request = self._tracer.recv(src, self._size_of(buffer, size), tag=tag,
+                                    buffer=buffer, blocking=False)
+        return RequestHandle(request, "irecv")
+
+    def wait(self, requests: Union[RequestHandle, Iterable[RequestHandle]]) -> None:
+        """Wait for one or several non-blocking requests."""
+        if isinstance(requests, RequestHandle):
+            requests = [requests]
+        ids: List[int] = []
+        for handle in requests:
+            if not isinstance(handle, RequestHandle):
+                raise TracingError(f"wait() expects RequestHandle, got {handle!r}")
+            ids.append(handle.request_id)
+        self._tracer.wait(ids)
+
+    def waitall(self, requests: Sequence[RequestHandle]) -> None:
+        """Alias of :meth:`wait` for readability in application models."""
+        self.wait(list(requests))
+
+    def sendrecv(self, dst: int, send_buffer: Buffer, src: int,
+                 recv_buffer: Buffer, tag: int = 0) -> None:
+        """Combined exchange implemented as isend + recv + wait."""
+        request = self.isend(dst, send_buffer, tag=tag)
+        self.recv(src, recv_buffer, tag=tag)
+        self.wait(request)
+
+    # -- collectives ---------------------------------------------------------
+    def barrier(self) -> None:
+        self._tracer.collective("barrier")
+
+    def bcast(self, count: int = 1, datatype: Datatype = DOUBLE, root: int = 0) -> None:
+        self._tracer.collective("bcast", size=count * datatype.size, root=root)
+
+    def reduce(self, count: int = 1, datatype: Datatype = DOUBLE, root: int = 0) -> None:
+        self._tracer.collective("reduce", size=count * datatype.size, root=root)
+
+    def allreduce(self, count: int = 1, datatype: Datatype = DOUBLE) -> None:
+        self._tracer.collective("allreduce", size=count * datatype.size)
+
+    def gather(self, count: int = 1, datatype: Datatype = DOUBLE, root: int = 0) -> None:
+        self._tracer.collective("gather", size=count * datatype.size, root=root)
+
+    def allgather(self, count: int = 1, datatype: Datatype = DOUBLE) -> None:
+        self._tracer.collective("allgather", size=count * datatype.size)
+
+    def scatter(self, count: int = 1, datatype: Datatype = DOUBLE, root: int = 0) -> None:
+        self._tracer.collective("scatter", size=count * datatype.size, root=root)
+
+    def alltoall(self, count: int = 1, datatype: Datatype = DOUBLE) -> None:
+        self._tracer.collective("alltoall", size=count * datatype.size)
+
+    # -- internals ------------------------------------------------------------
+    @staticmethod
+    def _check_segments(segments: int) -> None:
+        if segments < 1:
+            raise TracingError(f"segments must be >= 1, got {segments!r}")
+
+    @staticmethod
+    def _size_of(buffer: Optional[Buffer], size: Optional[int]) -> int:
+        if buffer is not None:
+            if size is not None and int(size) != buffer.size:
+                raise TracingError(
+                    f"explicit size {size} does not match buffer size {buffer.size}")
+            return buffer.size
+        if size is None:
+            raise TracingError("either a buffer or an explicit size is required")
+        return int(size)

@@ -1,0 +1,137 @@
+"""Trace statistics.
+
+A compact profile of an (original or overlapped) trace: instruction counts,
+message counts and volumes, per-peer traffic, burst-length and message-size
+distributions.  The CLI uses it for ``trace``/``simulate`` summaries and the
+benchmarks use it to report how much the overlap transformation expands a
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.tracing.records import CollectiveRecord, CpuBurst, RecvRecord, SendRecord, WaitRecord
+from repro.tracing.trace import RankTrace, Trace
+
+
+@dataclass
+class RankProfile:
+    """Per-rank summary of a trace."""
+
+    rank: int
+    instructions: float = 0.0
+    bursts: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    collectives: int = 0
+    waits: int = 0
+    peers: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_burst_instructions(self) -> float:
+        return self.instructions / self.bursts if self.bursts else 0.0
+
+    @property
+    def mean_message_bytes(self) -> float:
+        if not self.messages_sent:
+            return 0.0
+        return self.bytes_sent / self.messages_sent
+
+
+@dataclass
+class TraceProfile:
+    """Whole-trace summary."""
+
+    num_ranks: int
+    ranks: List[RankProfile]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(rank.instructions for rank in self.ranks)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(rank.messages_sent for rank in self.ranks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(rank.bytes_sent for rank in self.ranks)
+
+    @property
+    def total_records(self) -> int:
+        return sum(rank.bursts + rank.messages_sent + rank.messages_received
+                   + rank.collectives + rank.waits for rank in self.ranks)
+
+    def communication_matrix(self) -> List[List[int]]:
+        """Bytes sent from every rank to every rank."""
+        matrix = [[0] * self.num_ranks for _ in range(self.num_ranks)]
+        for rank in self.ranks:
+            for peer, volume in rank.peers.items():
+                matrix[rank.rank][peer] += volume
+        return matrix
+
+    def compute_to_communication_ratio(self, mips: float = 1000.0,
+                                       bandwidth_mbps: float = 250.0) -> float:
+        """First-order compute/communication time ratio of the traced run."""
+        compute_seconds = self.total_instructions / (mips * 1.0e6)
+        bandwidth = bandwidth_mbps * 1.0e6
+        communication_seconds = self.total_bytes / bandwidth if bandwidth else 0.0
+        if communication_seconds == 0:
+            return float("inf")
+        return compute_seconds / communication_seconds
+
+
+def profile_rank(rank_trace: RankTrace) -> RankProfile:
+    """Profile a single rank trace."""
+    profile = RankProfile(rank=rank_trace.rank)
+    for record in rank_trace:
+        if isinstance(record, CpuBurst):
+            profile.bursts += 1
+            profile.instructions += record.instructions
+        elif isinstance(record, SendRecord):
+            profile.messages_sent += 1
+            profile.bytes_sent += record.size
+            profile.peers[record.dst] = profile.peers.get(record.dst, 0) + record.size
+        elif isinstance(record, RecvRecord):
+            profile.messages_received += 1
+            profile.bytes_received += record.size
+        elif isinstance(record, CollectiveRecord):
+            profile.collectives += 1
+        elif isinstance(record, WaitRecord):
+            profile.waits += 1
+    return profile
+
+
+def profile_trace(trace: Trace) -> TraceProfile:
+    """Profile a whole trace."""
+    return TraceProfile(
+        num_ranks=trace.num_ranks,
+        ranks=[profile_rank(rank_trace) for rank_trace in trace],
+        metadata=dict(trace.metadata))
+
+
+def expansion_report(original: Trace, overlapped: Trace) -> Dict[str, float]:
+    """How much the overlap transformation expanded the trace.
+
+    Useful to reason about the cost of the mechanism itself: the number of
+    point-to-point operations grows by roughly the chunk count while the
+    payload bytes stay identical.
+    """
+    original_profile = profile_trace(original)
+    overlapped_profile = profile_trace(overlapped)
+    return {
+        "original_records": original_profile.total_records,
+        "overlapped_records": overlapped_profile.total_records,
+        "record_expansion": (overlapped_profile.total_records
+                             / max(1, original_profile.total_records)),
+        "original_messages": original_profile.total_messages,
+        "overlapped_messages": overlapped_profile.total_messages,
+        "message_expansion": (overlapped_profile.total_messages
+                              / max(1, original_profile.total_messages)),
+        "bytes_unchanged": original_profile.total_bytes == overlapped_profile.total_bytes,
+    }

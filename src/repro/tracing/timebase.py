@@ -1,0 +1,55 @@
+"""The instruction-count time model.
+
+Following the paper, the tracing tool measures time as the number of
+instructions executed in computation bursts, and that number is scaled by the
+average MIPS rate observed in a real run to obtain seconds.  The model
+deliberately ignores MPI-routine overhead, cache/TLB misses and CPU
+preemption; it can be extended by scaling the MIPS rate (the
+``relative_cpu_speed`` knob of the Dimemas platform plays that role during
+replay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Default MIPS rate used when an application model does not specify one.
+#: 1000 MIPS (one giga-instruction per second) is representative of a single
+#: core of the 2010-era machines the paper targets.
+DEFAULT_MIPS = 1000.0
+
+
+@dataclass(frozen=True)
+class TimeBase:
+    """Converts instruction counts to seconds through a MIPS rate."""
+
+    mips: float = DEFAULT_MIPS
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0:
+            raise ConfigurationError(f"MIPS rate must be positive, got {self.mips!r}")
+
+    @property
+    def instructions_per_second(self) -> float:
+        return self.mips * 1.0e6
+
+    def seconds(self, instructions: float, relative_cpu_speed: float = 1.0) -> float:
+        """Seconds taken by ``instructions`` at this MIPS rate.
+
+        ``relative_cpu_speed`` scales the processor (Dimemas semantics: 2.0
+        means a CPU twice as fast as the traced one).
+        """
+        if relative_cpu_speed <= 0:
+            raise ConfigurationError(
+                f"relative CPU speed must be positive, got {relative_cpu_speed!r}")
+        if instructions < 0:
+            raise ConfigurationError(f"negative instruction count: {instructions!r}")
+        return instructions / (self.instructions_per_second * relative_cpu_speed)
+
+    def instructions(self, seconds: float, relative_cpu_speed: float = 1.0) -> float:
+        """Inverse of :meth:`seconds`."""
+        if seconds < 0:
+            raise ConfigurationError(f"negative duration: {seconds!r}")
+        return seconds * self.instructions_per_second * relative_cpu_speed

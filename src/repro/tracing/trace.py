@@ -1,0 +1,162 @@
+"""Trace containers and (de)serialisation."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Type, Union
+
+from repro.errors import TraceFormatError
+from repro.tracing.records import (
+    CollectiveRecord,
+    CpuBurst,
+    Record,
+    RecvRecord,
+    SendRecord,
+    WaitRecord,
+)
+from repro.tracing.timebase import DEFAULT_MIPS
+
+
+@dataclass
+class RankTrace:
+    """The ordered record list of one MPI process."""
+
+    rank: int
+    records: List[Record] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- aggregate views -------------------------------------------------
+    def total_instructions(self) -> float:
+        """Instructions over all computation bursts of this rank."""
+        return sum(r.instructions for r in self.records if isinstance(r, CpuBurst))
+
+    def bytes_sent(self) -> int:
+        return sum(r.size for r in self.records if isinstance(r, SendRecord))
+
+    def bytes_received(self) -> int:
+        return sum(r.size for r in self.records if isinstance(r, RecvRecord))
+
+    def count(self, record_type: Type[Record]) -> int:
+        """Number of records of the given type."""
+        return sum(1 for r in self.records if isinstance(r, record_type))
+
+    def sends(self) -> List[SendRecord]:
+        return [r for r in self.records if isinstance(r, SendRecord)]
+
+    def recvs(self) -> List[RecvRecord]:
+        return [r for r in self.records if isinstance(r, RecvRecord)]
+
+    def collectives(self) -> List[CollectiveRecord]:
+        return [r for r in self.records if isinstance(r, CollectiveRecord)]
+
+    def bursts(self) -> List[CpuBurst]:
+        return [r for r in self.records if isinstance(r, CpuBurst)]
+
+    def waits(self) -> List[WaitRecord]:
+        return [r for r in self.records if isinstance(r, WaitRecord)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rank": self.rank, "records": [r.to_dict() for r in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RankTrace":
+        return cls(rank=int(data["rank"]),
+                   records=[Record.from_dict(r) for r in data.get("records", [])])
+
+
+@dataclass
+class Trace:
+    """A complete application trace: one :class:`RankTrace` per process."""
+
+    ranks: List[RankTrace]
+    mips: float = DEFAULT_MIPS
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise TraceFormatError("a trace must contain at least one rank")
+        expected = list(range(len(self.ranks)))
+        actual = [rank_trace.rank for rank_trace in self.ranks]
+        if actual != expected:
+            raise TraceFormatError(
+                f"rank traces must be numbered 0..N-1 in order, got {actual}")
+        if self.mips <= 0:
+            raise TraceFormatError(f"MIPS rate must be positive, got {self.mips!r}")
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.ranks)
+
+    def __getitem__(self, rank: int) -> RankTrace:
+        return self.ranks[rank]
+
+    def __iter__(self) -> Iterator[RankTrace]:
+        return iter(self.ranks)
+
+    # -- aggregate views -------------------------------------------------
+    def total_instructions(self) -> float:
+        return sum(rank_trace.total_instructions() for rank_trace in self.ranks)
+
+    def total_bytes(self) -> int:
+        return sum(rank_trace.bytes_sent() for rank_trace in self.ranks)
+
+    def total_messages(self) -> int:
+        return sum(rank_trace.count(SendRecord) for rank_trace in self.ranks)
+
+    def describe(self) -> Dict[str, Any]:
+        """A small summary used by the CLI and the reports."""
+        return {
+            "name": self.metadata.get("name", "unknown"),
+            "num_ranks": self.num_ranks,
+            "mips": self.mips,
+            "total_instructions": self.total_instructions(),
+            "total_bytes": self.total_bytes(),
+            "total_messages": self.total_messages(),
+            "records": sum(len(rank_trace) for rank_trace in self.ranks),
+        }
+
+    # -- (de)serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mips": self.mips,
+            "metadata": dict(self.metadata),
+            "ranks": [rank_trace.to_dict() for rank_trace in self.ranks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Trace":
+        return cls(
+            ranks=[RankTrace.from_dict(r) for r in data.get("ranks", [])],
+            mips=float(data.get("mips", DEFAULT_MIPS)),
+            metadata=dict(data.get("metadata", {})))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace to a JSON file and return the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written with :meth:`save`."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise TraceFormatError(f"cannot read trace file {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path} is not a valid trace file: {exc}") from exc
+        return cls.from_dict(data)
+
+    def with_metadata(self, **updates: Any) -> "Trace":
+        """A shallow copy of the trace with extra metadata entries."""
+        merged = dict(self.metadata)
+        merged.update(updates)
+        return Trace(ranks=self.ranks, mips=self.mips, metadata=merged)

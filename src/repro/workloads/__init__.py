@@ -1,0 +1,15 @@
+"""Workload generators for tests and benchmarks.
+
+Besides the six paper applications, the benchmark harness and the
+property-based tests need families of synthetic workloads whose structure
+can be varied programmatically (number of ranks, communication intensity,
+random-but-reproducible exchange patterns).
+"""
+
+from repro.workloads.generator import RandomExchangeWorkload, WorkloadSpec, generate_workload
+
+__all__ = [
+    "RandomExchangeWorkload",
+    "WorkloadSpec",
+    "generate_workload",
+]

@@ -1,0 +1,75 @@
+"""Tests for the ablation studies of the design choices."""
+
+import pytest
+
+from repro.apps import SanchoLoop
+from repro.core.ablation import (
+    chunk_size_ablation,
+    chunking_policy_ablation,
+    cpu_speed_ablation,
+    eager_threshold_ablation,
+)
+from repro.core.chunking import FixedCountChunking, FixedSizeChunking
+from repro.dimemas import Platform
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SanchoLoop(num_ranks=4, iterations=3, message_bytes=120_000,
+                      instructions_per_iteration=1.5e6)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(bandwidth_mbps=200.0)
+
+
+class TestChunkSizeAblation:
+    def test_returns_speedup_per_size(self, app, platform):
+        results = chunk_size_ablation(app, chunk_sizes=(8192, 65536), platform=platform)
+        assert set(results) == {8192, 65536}
+        assert all(speedup > 0.9 for speedup in results.values())
+
+    def test_finer_chunks_do_not_hurt_much(self, app, platform):
+        results = chunk_size_ablation(app, chunk_sizes=(8192, 262144), platform=platform)
+        # A single huge chunk degenerates towards the original execution.
+        assert results[8192] >= results[262144] - 0.05
+
+    def test_huge_chunks_approach_original(self, app, platform):
+        results = chunk_size_ablation(app, chunk_sizes=(1 << 20,), platform=platform)
+        assert results[1 << 20] == pytest.approx(1.0, abs=0.1)
+
+
+class TestChunkingPolicyAblation:
+    def test_named_policies(self, app, platform):
+        results = chunking_policy_ablation(app, {
+            "count-8": FixedCountChunking(count=8),
+            "size-16k": FixedSizeChunking(chunk_bytes=16384),
+        }, platform=platform)
+        assert set(results) == {"count-8", "size-16k"}
+        assert all(speedup > 1.0 for speedup in results.values())
+
+
+class TestEagerThresholdAblation:
+    def test_generous_threshold_helps(self, app, platform):
+        results = eager_threshold_ablation(app, thresholds=(0, 1 << 20),
+                                           platform=platform)
+        # Forcing every chunk through a rendezvous removes most of the early-
+        # send benefit; a generous eager threshold preserves it.
+        assert results[1 << 20] >= results[0] - 1e-9
+        assert results[1 << 20] > 1.1
+
+
+class TestCpuSpeedAblation:
+    def test_cpu_speed_moves_the_app_along_the_bandwidth_curve(self, app, platform):
+        """Scaling the CPU mirrors scaling the network in the other direction.
+
+        On a compute-bound configuration (slow CPUs) there is little to hide;
+        the benefit peaks where communication and computation are balanced and
+        shrinks again once the faster CPUs make the run network-bound.
+        """
+        results = cpu_speed_ablation(app, cpu_speeds=(0.25, 1.0, 8.0),
+                                     platform=platform)
+        assert results[1.0] > results[0.25]
+        assert results[1.0] > results[8.0]
+        assert all(speedup > 0.9 for speedup in results.values())

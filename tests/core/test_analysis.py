@@ -1,0 +1,130 @@
+"""Unit tests for the analysis helpers."""
+
+import pytest
+
+from repro.core.analysis import (
+    ORIGINAL,
+    BandwidthSweep,
+    SweepPoint,
+    bandwidth_reduction_factor,
+    geometric_bandwidths,
+    sancho_overlap_bound,
+)
+from repro.errors import AnalysisError
+
+
+def _sweep():
+    """A synthetic sweep whose original time is comm-bound at low bandwidth."""
+    points = []
+    for bandwidth, original, ideal in [
+        (10.0, 1.00, 0.70),
+        (100.0, 0.40, 0.201),
+        (1000.0, 0.22, 0.2),
+        (10000.0, 0.202, 0.2),
+    ]:
+        fraction = max(0.0, 1.0 - 0.2 / original)
+        points.append(SweepPoint(bandwidth_mbps=bandwidth,
+                                 times={ORIGINAL: original, "ideal": ideal},
+                                 original_communication_fraction=fraction,
+                                 original_compute_time=0.2))
+    return BandwidthSweep(app_name="demo", variants=[ORIGINAL, "ideal"], points=points)
+
+
+class TestSanchoBound:
+    def test_balanced_times_give_two(self):
+        assert sancho_overlap_bound(1.0, 1.0) == pytest.approx(2.0)
+
+    def test_skewed_times(self):
+        assert sancho_overlap_bound(1.0, 0.25) == pytest.approx(1.25)
+        assert sancho_overlap_bound(0.25, 1.0) == pytest.approx(1.25)
+
+    def test_zero_times(self):
+        assert sancho_overlap_bound(0.0, 0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            sancho_overlap_bound(-1.0, 1.0)
+
+
+class TestSweepPoint:
+    def test_speedup(self):
+        point = SweepPoint(100.0, {ORIGINAL: 2.0, "ideal": 1.0})
+        assert point.speedup("ideal") == pytest.approx(2.0)
+
+    def test_missing_variant(self):
+        point = SweepPoint(100.0, {ORIGINAL: 2.0})
+        with pytest.raises(AnalysisError):
+            point.time("ideal")
+
+
+class TestBandwidthSweep:
+    def test_points_sorted_by_bandwidth(self):
+        sweep = _sweep()
+        assert sweep.bandwidths() == sorted(sweep.bandwidths())
+
+    def test_speedups_and_peak(self):
+        sweep = _sweep()
+        peak_bandwidth, peak = sweep.peak_speedup("ideal")
+        assert peak == pytest.approx(0.40 / 0.201)
+        assert peak_bandwidth == 100.0
+
+    def test_speedup_at(self):
+        assert _sweep().speedup_at(10.0, "ideal") == pytest.approx(1.0 / 0.7)
+
+    def test_point_at_unknown_bandwidth(self):
+        with pytest.raises(AnalysisError):
+            _sweep().point_at(123.0)
+
+    def test_intermediate_bandwidth_picks_half_fraction(self):
+        sweep = _sweep()
+        assert sweep.intermediate_bandwidth() == 100.0
+        assert sweep.intermediate_speedup("ideal") == pytest.approx(0.40 / 0.201)
+
+    def test_bandwidth_for_time_exact_point(self):
+        sweep = _sweep()
+        assert sweep.bandwidth_for_time(1.0, ORIGINAL) == pytest.approx(10.0)
+
+    def test_bandwidth_for_time_interpolates(self):
+        sweep = _sweep()
+        needed = sweep.bandwidth_for_time(0.5, "ideal")
+        assert 10.0 < needed < 100.0
+
+    def test_bandwidth_for_time_unreachable(self):
+        assert _sweep().bandwidth_for_time(0.01, "ideal") is None
+
+    def test_bandwidth_for_time_validates_target(self):
+        with pytest.raises(AnalysisError):
+            _sweep().bandwidth_for_time(0.0, "ideal")
+
+    def test_reduction_factor(self):
+        sweep = _sweep()
+        factor = sweep.bandwidth_reduction_factor("ideal")
+        assert factor is not None and factor > 10.0
+        assert bandwidth_reduction_factor(sweep, "ideal") == pytest.approx(factor)
+
+    def test_reduction_factor_with_reference(self):
+        factor = _sweep().bandwidth_reduction_factor("ideal", reference_bandwidth=1000.0)
+        assert factor is not None and factor > 1.0
+
+    def test_empty_sweep_rejected(self):
+        sweep = BandwidthSweep(app_name="empty", variants=[ORIGINAL])
+        with pytest.raises(AnalysisError):
+            sweep.peak_speedup(ORIGINAL)
+
+
+class TestGeometricBandwidths:
+    def test_endpoints_and_count(self):
+        values = geometric_bandwidths(1.0, 1000.0, 4)
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(1000.0)
+        assert len(values) == 4
+
+    def test_log_spacing(self):
+        values = geometric_bandwidths(1.0, 100.0, 3)
+        assert values[1] == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            geometric_bandwidths(10.0, 1.0, 3)
+        with pytest.raises(AnalysisError):
+            geometric_bandwidths(1.0, 10.0, 1)

@@ -1,0 +1,100 @@
+"""Unit tests for message chunking policies."""
+
+import pytest
+
+from repro.core.chunking import (
+    MAX_CHUNKS_PER_MESSAGE,
+    Chunk,
+    FixedCountChunking,
+    FixedSizeChunking,
+)
+from repro.errors import ConfigurationError
+
+
+class TestChunk:
+    def test_overlap_detection(self):
+        chunk = Chunk(index=1, lo=0.25, hi=0.5, size=100)
+        assert chunk.overlaps(0.4, 0.6)
+        assert chunk.overlaps(0.0, 0.3)
+        assert not chunk.overlaps(0.5, 0.8)
+        assert not chunk.overlaps(0.0, 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Chunk(index=-1, lo=0.0, hi=0.5, size=1)
+        with pytest.raises(ConfigurationError):
+            Chunk(index=0, lo=0.6, hi=0.5, size=1)
+        with pytest.raises(ConfigurationError):
+            Chunk(index=0, lo=0.0, hi=0.5, size=-1)
+
+
+class TestFixedCountChunking:
+    def test_sizes_sum_to_message_size(self):
+        policy = FixedCountChunking(count=7)
+        for size in (1, 13, 1000, 65537, 10**6):
+            chunks = policy.chunks(size)
+            assert sum(chunk.size for chunk in chunks) == size
+
+    def test_count_respected_for_large_messages(self):
+        assert len(FixedCountChunking(count=16).chunks(10**6)) == 16
+
+    def test_small_messages_get_fewer_chunks(self):
+        policy = FixedCountChunking(count=16, min_chunk_bytes=256)
+        assert len(policy.chunks(512)) == 2
+        assert len(policy.chunks(100)) == 1
+
+    def test_fractions_partition_unit_interval(self):
+        chunks = FixedCountChunking(count=4).chunks(4000)
+        assert chunks[0].lo == 0.0
+        assert chunks[-1].hi == 1.0
+        for left, right in zip(chunks, chunks[1:]):
+            assert left.hi == pytest.approx(right.lo)
+
+    def test_zero_size_message(self):
+        chunks = FixedCountChunking(count=8).chunks(0)
+        assert len(chunks) == 1
+        assert chunks[0].size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedCountChunking().chunks(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FixedCountChunking(count=0)
+        with pytest.raises(ConfigurationError):
+            FixedCountChunking(min_chunk_bytes=0)
+
+    def test_deterministic(self):
+        policy = FixedCountChunking(count=5)
+        assert policy.chunks(12345) == policy.chunks(12345)
+
+
+class TestFixedSizeChunking:
+    def test_chunk_count_follows_size(self):
+        policy = FixedSizeChunking(chunk_bytes=1000, max_chunks=100)
+        assert len(policy.chunks(5000)) == 5
+        assert len(policy.chunks(5001)) == 6
+        assert len(policy.chunks(500)) == 1
+
+    def test_max_chunks_cap(self):
+        policy = FixedSizeChunking(chunk_bytes=10, max_chunks=8)
+        assert len(policy.chunks(10**6)) == 8
+
+    def test_global_cap_applies(self):
+        policy = FixedSizeChunking(chunk_bytes=1, max_chunks=10**6)
+        assert len(policy.chunks(10**6)) == MAX_CHUNKS_PER_MESSAGE
+
+    def test_sizes_sum_and_near_uniform(self):
+        chunks = FixedSizeChunking(chunk_bytes=1000).chunks(10_500)
+        assert sum(chunk.size for chunk in chunks) == 10_500
+        assert max(c.size for c in chunks) - min(c.size for c in chunks) <= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FixedSizeChunking(chunk_bytes=0)
+        with pytest.raises(ConfigurationError):
+            FixedSizeChunking(max_chunks=0)
+
+    def test_describe_mentions_parameters(self):
+        assert "16384" in FixedSizeChunking(chunk_bytes=16384).describe()

@@ -1,0 +1,33 @@
+"""Unit tests for overlap mechanisms."""
+
+import pytest
+
+from repro.core.mechanisms import OverlapMechanism
+
+
+class TestOverlapMechanism:
+    def test_full_is_union(self):
+        assert OverlapMechanism.FULL == (
+            OverlapMechanism.EARLY_SEND | OverlapMechanism.LATE_RECEIVE)
+
+    def test_transform_flags(self):
+        assert OverlapMechanism.FULL.transforms_sends
+        assert OverlapMechanism.FULL.transforms_receives
+        assert OverlapMechanism.EARLY_SEND.transforms_sends
+        assert not OverlapMechanism.EARLY_SEND.transforms_receives
+        assert not OverlapMechanism.LATE_RECEIVE.transforms_sends
+        assert not OverlapMechanism.NONE.transforms_sends
+
+    @pytest.mark.parametrize("mechanism,label", [
+        (OverlapMechanism.FULL, "full"),
+        (OverlapMechanism.EARLY_SEND, "early-send"),
+        (OverlapMechanism.LATE_RECEIVE, "late-receive"),
+        (OverlapMechanism.NONE, "none"),
+    ])
+    def test_labels_round_trip(self, mechanism, label):
+        assert mechanism.label == label
+        assert OverlapMechanism.from_label(label) is mechanism
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            OverlapMechanism.from_label("everything")

@@ -1,0 +1,199 @@
+"""Unit tests for the overlap trace transformation."""
+
+import pytest
+
+from repro.core.chunking import FixedCountChunking
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.overlap import OverlapTransformer, chunk_tag
+from repro.core.patterns import ComputationPattern
+from repro.errors import TransformError
+from repro.mpi.validation import MatchingValidator
+from repro.tracing.records import (
+    AccessEvent,
+    CpuBurst,
+    RecvRecord,
+    SendRecord,
+    WaitRecord,
+)
+from repro.tracing.trace import RankTrace, Trace
+
+
+def _blocking_pair_trace(size=4000, burst=1000.0):
+    """Rank 0: compute (producing) then send; rank 1: recv then compute (consuming)."""
+    sender = RankTrace(rank=0, records=[
+        CpuBurst(instructions=burst),
+        SendRecord(dst=1, size=size, tag=3, pair_seq=0, buffer="face",
+                   production=[AccessEvent(burst_index=0, offset=burst, lo=0.0, hi=1.0)]),
+    ])
+    receiver = RankTrace(rank=1, records=[
+        RecvRecord(src=0, size=size, tag=3, pair_seq=0, buffer="halo",
+                   consumption=[AccessEvent(burst_index=1, offset=0.0, lo=0.0, hi=1.0)]),
+        CpuBurst(instructions=burst),
+    ])
+    return Trace(ranks=[sender, receiver], metadata={"name": "pair"})
+
+
+def _nonblocking_exchange_trace(size=4000, burst=1000.0):
+    """Both ranks: compute, irecv+isend+waitall, compute."""
+    ranks = []
+    for rank, peer in ((0, 1), (1, 0)):
+        ranks.append(RankTrace(rank=rank, records=[
+            CpuBurst(instructions=burst),
+            RecvRecord(src=peer, size=size, tag=1, pair_seq=0, blocking=False,
+                       request=0, buffer="halo",
+                       consumption=[AccessEvent(burst_index=4, offset=100.0,
+                                                lo=0.0, hi=1.0)]),
+            SendRecord(dst=peer, size=size, tag=1, pair_seq=0, blocking=False,
+                       request=1, buffer="face",
+                       production=[AccessEvent(burst_index=0, offset=burst,
+                                               lo=0.0, hi=1.0)]),
+            WaitRecord(requests=[0, 1]),
+            CpuBurst(instructions=burst),
+        ]))
+    return Trace(ranks=ranks, metadata={"name": "exchange"})
+
+
+def _transformer(pattern=ComputationPattern.IDEAL,
+                 mechanism=OverlapMechanism.FULL, count=4):
+    return OverlapTransformer(chunking=FixedCountChunking(count=count),
+                              pattern=pattern, mechanism=mechanism)
+
+
+class TestChunkTag:
+    def test_deterministic_and_distinct(self):
+        assert chunk_tag(3, 5, 2) == chunk_tag(3, 5, 2)
+        tags = {chunk_tag(t, s, c) for t in range(3) for s in range(3) for c in range(3)}
+        assert len(tags) == 27
+
+    def test_limits_enforced(self):
+        with pytest.raises(TransformError):
+            chunk_tag(0, 0, 10**6)
+        with pytest.raises(TransformError):
+            chunk_tag(0, 10**7, 0)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("pattern", list(ComputationPattern))
+    @pytest.mark.parametrize("trace_factory", [_blocking_pair_trace,
+                                               _nonblocking_exchange_trace])
+    def test_instructions_and_bytes_preserved(self, pattern, trace_factory):
+        trace = trace_factory()
+        overlapped = _transformer(pattern).transform(trace)
+        for original, transformed in zip(trace, overlapped):
+            assert transformed.total_instructions() == pytest.approx(
+                original.total_instructions())
+            assert transformed.bytes_sent() == original.bytes_sent()
+            assert transformed.bytes_received() == original.bytes_received()
+
+    @pytest.mark.parametrize("pattern", list(ComputationPattern))
+    @pytest.mark.parametrize("trace_factory", [_blocking_pair_trace,
+                                               _nonblocking_exchange_trace])
+    def test_transformed_trace_still_matches(self, pattern, trace_factory):
+        overlapped = _transformer(pattern).transform(trace_factory())
+        report = MatchingValidator(strict=False).validate(overlapped)
+        assert report.ok, report.issues
+
+    def test_metadata_records_variant(self):
+        overlapped = _transformer().transform(_blocking_pair_trace())
+        assert overlapped.metadata["pattern"] == "ideal"
+        assert overlapped.metadata["mechanism"] == "full"
+        assert "overlapped" in overlapped.metadata["variant"]
+
+    def test_none_mechanism_returns_equivalent_trace(self):
+        trace = _blocking_pair_trace()
+        untouched = OverlapTransformer(
+            mechanism=OverlapMechanism.NONE).transform(trace)
+        assert untouched[0].records == trace[0].records
+        assert untouched.metadata["variant"] == "original"
+
+
+class TestSendSide:
+    def test_blocking_send_replaced_by_chunk_isends_and_wait(self):
+        overlapped = _transformer().transform(_blocking_pair_trace())
+        sender = overlapped[0]
+        chunk_sends = [r for r in sender.sends() if not r.blocking]
+        assert len(chunk_sends) == 4
+        assert len(sender.waits()) == 1
+        assert set(sender.waits()[0].requests) == {r.request for r in chunk_sends}
+        # No blocking send survives.
+        assert all(not r.blocking for r in sender.sends())
+
+    def test_ideal_pattern_splits_preceding_burst(self):
+        overlapped = _transformer().transform(_blocking_pair_trace(burst=1000.0))
+        sender = overlapped[0]
+        bursts = sender.bursts()
+        assert len(bursts) == 4
+        assert [b.instructions for b in bursts] == pytest.approx([250.0] * 4)
+        # Records alternate burst / isend.
+        kinds = [type(r).__name__ for r in sender.records]
+        assert kinds.count("SendRecord") == 4
+
+    def test_real_pattern_with_late_production_keeps_sends_at_end(self):
+        overlapped = _transformer(ComputationPattern.REAL).transform(
+            _blocking_pair_trace(burst=1000.0))
+        sender = overlapped[0]
+        # Production is at the very end of the burst, so the burst is not split.
+        assert len(sender.bursts()) == 1
+        assert sender.bursts()[0].instructions == pytest.approx(1000.0)
+
+    def test_early_send_only_keeps_receive_waits_at_call(self):
+        overlapped = _transformer(
+            mechanism=OverlapMechanism.EARLY_SEND).transform(_blocking_pair_trace())
+        receiver = overlapped[1]
+        # The message is still chunked (the sender injects early partial
+        # sends) but every partial receive is waited for at the original
+        # receive call: the consuming burst is not split.
+        assert len(receiver.recvs()) == 4
+        assert len(receiver.bursts()) == 1
+        assert len(receiver.waits()) == 1
+        assert len(receiver.waits()[0].requests) == 4
+
+    def test_single_chunk_messages_not_transformed(self):
+        overlapped = _transformer(count=1).transform(_blocking_pair_trace())
+        assert overlapped[0].records == _blocking_pair_trace()[0].records
+
+
+class TestReceiveSide:
+    def test_blocking_recv_replaced_by_chunk_irecvs(self):
+        overlapped = _transformer().transform(_blocking_pair_trace())
+        receiver = overlapped[1]
+        chunk_recvs = [r for r in receiver.recvs() if not r.blocking]
+        assert len(chunk_recvs) == 4
+        # Ideal consumption: chunk 0 needed immediately -> one wait at offset 0,
+        # the rest spread through the burst.
+        assert len(receiver.waits()) == 4
+
+    def test_late_receive_only_keeps_sends_at_call(self):
+        overlapped = _transformer(
+            mechanism=OverlapMechanism.LATE_RECEIVE).transform(_blocking_pair_trace())
+        sender = overlapped[0]
+        # The message is still chunked (the receiver defers its waits) but
+        # every partial send stays at the original send call: the producing
+        # burst is not split.
+        assert len(sender.sends()) == 4
+        assert len(sender.bursts()) == 1
+        assert len(sender.waits()) == 1
+
+    def test_nonblocking_exchange_rewrites_waitall(self):
+        overlapped = _transformer().transform(_nonblocking_exchange_trace())
+        rank0 = overlapped[0]
+        # The original waitall must not reference the replaced requests 0/1.
+        for wait in rank0.waits():
+            assert 0 not in wait.requests or len(wait.requests) > 1
+        report = MatchingValidator(strict=False).validate(overlapped)
+        assert report.ok
+
+    def test_consumption_waits_split_following_burst(self):
+        overlapped = _transformer().transform(_nonblocking_exchange_trace())
+        rank0 = overlapped[0]
+        # The trailing burst (originally one record) is now split by the
+        # injected chunk waits.
+        assert len(rank0.bursts()) > 2
+
+
+class TestTagConsistency:
+    def test_chunk_tags_match_across_ranks(self):
+        overlapped = _transformer().transform(_nonblocking_exchange_trace())
+        sends = {(0, r.tag): r.size for r in overlapped[0].sends()}
+        recvs = {(0, r.tag): r.size for r in overlapped[1].recvs()}
+        assert sends == recvs

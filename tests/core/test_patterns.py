@@ -1,0 +1,88 @@
+"""Unit tests for computation-pattern models."""
+
+import pytest
+
+from repro.core.chunking import FixedCountChunking
+from repro.core.patterns import (
+    ComputationPattern,
+    consumption_points,
+    production_points,
+)
+from repro.tracing.records import AccessEvent
+
+CHUNKS = FixedCountChunking(count=4).chunks(4000)
+BURSTS = {0: 1000.0, 5: 2000.0}
+
+
+class TestPatternEnum:
+    def test_from_label(self):
+        assert ComputationPattern.from_label("ideal") is ComputationPattern.IDEAL
+        assert ComputationPattern.from_label("REAL") is ComputationPattern.REAL
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            ComputationPattern.from_label("linear-ish")
+
+
+class TestRealProduction:
+    def test_last_write_wins(self):
+        events = [
+            AccessEvent(burst_index=0, offset=100.0, lo=0.0, hi=1.0),
+            AccessEvent(burst_index=0, offset=700.0, lo=0.0, hi=0.25),
+        ]
+        points = production_points(CHUNKS, events, ComputationPattern.REAL, 0, BURSTS)
+        assert points[0].offset == pytest.approx(700.0)
+        assert points[1].offset == pytest.approx(100.0)
+
+    def test_untouched_chunks_have_no_point(self):
+        events = [AccessEvent(burst_index=0, offset=10.0, lo=0.0, hi=0.25)]
+        points = production_points(CHUNKS, events, ComputationPattern.REAL, 0, BURSTS)
+        assert points[0].burst_index == 0
+        assert all(point.burst_index is None for point in points[1:])
+
+    def test_offsets_clamped_to_burst(self):
+        events = [AccessEvent(burst_index=0, offset=5000.0, lo=0.0, hi=1.0)]
+        points = production_points(CHUNKS, events, ComputationPattern.REAL, 0, BURSTS)
+        assert all(point.offset == pytest.approx(1000.0) for point in points)
+
+    def test_event_in_unknown_burst_ignored(self):
+        events = [AccessEvent(burst_index=99, offset=10.0, lo=0.0, hi=1.0)]
+        points = production_points(CHUNKS, events, ComputationPattern.REAL, 0, BURSTS)
+        assert all(point.burst_index is None for point in points)
+
+
+class TestRealConsumption:
+    def test_first_read_wins(self):
+        events = [
+            AccessEvent(burst_index=5, offset=50.0, lo=0.0, hi=1.0),
+            AccessEvent(burst_index=5, offset=900.0, lo=0.0, hi=1.0),
+        ]
+        points = consumption_points(CHUNKS, events, ComputationPattern.REAL, 5, BURSTS)
+        assert all(point.offset == pytest.approx(50.0) for point in points)
+
+    def test_unread_chunks_have_no_point(self):
+        points = consumption_points(CHUNKS, [], ComputationPattern.REAL, 5, BURSTS)
+        assert all(point.burst_index is None for point in points)
+
+
+class TestIdealPattern:
+    def test_production_uniformly_distributed(self):
+        points = production_points(CHUNKS, [], ComputationPattern.IDEAL, 0, BURSTS)
+        offsets = [point.offset for point in points]
+        assert offsets == pytest.approx([250.0, 500.0, 750.0, 1000.0])
+        assert all(point.burst_index == 0 for point in points)
+
+    def test_consumption_uniformly_distributed(self):
+        points = consumption_points(CHUNKS, [], ComputationPattern.IDEAL, 5, BURSTS)
+        offsets = [point.offset for point in points]
+        assert offsets == pytest.approx([0.0, 500.0, 1000.0, 1500.0])
+
+    def test_ideal_ignores_measured_events(self):
+        events = [AccessEvent(burst_index=0, offset=999.0, lo=0.0, hi=1.0)]
+        with_events = production_points(CHUNKS, events, ComputationPattern.IDEAL, 0, BURSTS)
+        without = production_points(CHUNKS, [], ComputationPattern.IDEAL, 0, BURSTS)
+        assert [p.offset for p in with_events] == [p.offset for p in without]
+
+    def test_no_adjacent_burst_means_no_points(self):
+        points = production_points(CHUNKS, [], ComputationPattern.IDEAL, None, BURSTS)
+        assert all(point.burst_index is None for point in points)

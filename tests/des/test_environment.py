@@ -1,0 +1,93 @@
+"""Unit tests for the DES environment and run() semantics."""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.exceptions import EmptySchedule
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_peek_empty_queue(self):
+        assert Environment().peek() == float("inf")
+
+    def test_events_processed_in_time_order(self):
+        env = Environment()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            env.timeout(delay, value=delay).add_callback(
+                lambda ev: order.append(ev.value))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_events_fifo(self):
+        env = Environment()
+        order = []
+        for index in range(5):
+            env.timeout(1.0, value=index).add_callback(
+                lambda ev: order.append(ev.value))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.schedule(env.event(), delay=-1.0)
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(EmptySchedule):
+            Environment().step()
+
+
+class TestRun:
+    def test_run_until_time(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_time_advances_clock_even_without_events(self):
+        env = Environment()
+        env.run(until=7.5)
+        assert env.now == 7.5
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+        timeout = env.timeout(2.0, value="ready")
+        assert env.run(until=timeout) == "ready"
+        assert env.now == pytest.approx(2.0)
+
+    def test_run_until_unreachable_event_raises(self):
+        env = Environment()
+        lonely = env.event()
+        env.timeout(1.0)
+        with pytest.raises(EmptySchedule):
+            env.run(until=lonely)
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=0.5)
+
+    def test_run_to_exhaustion(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert env.now == pytest.approx(2.0)
+        assert env.peek() == float("inf")
+
+    def test_clock_does_not_pass_until(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=9.0)
+        assert env.now == 9.0
+        env.run()
+        assert env.now == pytest.approx(10.0)

@@ -1,0 +1,180 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.exceptions import DesError, StopProcess
+
+
+class TestProcessBasics:
+    def test_simple_process_advances_time(self):
+        env = Environment()
+        trace = []
+
+        def worker():
+            trace.append(env.now)
+            yield env.timeout(2.0)
+            trace.append(env.now)
+            yield env.timeout(3.0)
+            trace.append(env.now)
+
+        env.process(worker())
+        env.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_process_return_value(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(1.0)
+            return "result"
+
+        process = env.process(worker())
+        env.run()
+        assert process.value == "result"
+
+    def test_stop_process_exception_sets_value(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(1.0)
+            raise StopProcess("early")
+
+        process = env.process(worker())
+        env.run()
+        assert process.value == "early"
+
+    def test_yield_value_passed_back(self):
+        env = Environment()
+        received = []
+
+        def worker():
+            value = yield env.timeout(1.0, value="ping")
+            received.append(value)
+
+        env.process(worker())
+        env.run()
+        assert received == ["ping"]
+
+    def test_process_is_alive_until_done(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(5.0)
+
+        process = env.process(worker())
+        assert process.is_alive
+        env.run(until=1.0)
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def worker():
+            yield 42
+
+        env.process(worker())
+        with pytest.raises(DesError):
+            env.run()
+
+
+class TestProcessInteraction:
+    def test_process_waits_on_other_process(self):
+        env = Environment()
+        log = []
+
+        def producer():
+            yield env.timeout(3.0)
+            log.append("produced")
+            return "payload"
+
+        def consumer(proc):
+            value = yield proc
+            log.append(f"consumed {value}")
+
+        prod = env.process(producer())
+        env.process(consumer(prod))
+        env.run()
+        assert log == ["produced", "consumed payload"]
+
+    def test_waiting_on_finished_process_resumes_immediately(self):
+        env = Environment()
+        times = []
+
+        def quick():
+            yield env.timeout(1.0)
+            return "done"
+
+        def late(proc):
+            yield env.timeout(5.0)
+            value = yield proc
+            times.append((env.now, value))
+
+        proc = env.process(quick())
+        env.process(late(proc))
+        env.run()
+        assert times == [(5.0, "done")]
+
+    def test_exception_propagates_into_waiter(self):
+        env = Environment()
+        caught = []
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("inner failure")
+
+        def waiter(proc):
+            try:
+                yield proc
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        proc = env.process(failing())
+        env.process(waiter(proc))
+        env.run()
+        assert caught == ["inner failure"]
+
+    def test_unwaited_failing_process_surfaces_error(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise RuntimeError("nobody listens")
+
+        env.process(failing())
+        with pytest.raises(RuntimeError, match="nobody listens"):
+            env.run()
+
+    def test_all_of_processes(self):
+        env = Environment()
+
+        def worker(delay):
+            yield env.timeout(delay)
+            return delay
+
+        procs = [env.process(worker(d)) for d in (1.0, 2.0, 3.0)]
+        done = env.all_of(procs)
+        env.run(until=done)
+        assert env.now == pytest.approx(3.0)
+
+    def test_shared_resource_like_interleaving(self):
+        env = Environment()
+        log = []
+
+        def ping_pong(name, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+        env.process(ping_pong("a", 1.0))
+        env.process(ping_pong("b", 1.5))
+        env.run()
+        assert log == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"),
+                       (3.0, "a"), (4.5, "b")]

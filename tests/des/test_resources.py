@@ -1,0 +1,189 @@
+"""Unit tests for resources, stores and containers."""
+
+import pytest
+
+from repro.des import Container, Environment, Resource, Store
+from repro.des.resources import InfiniteResource
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        first, second = resource.request(), resource.request()
+        env.run()
+        assert first.processed and second.processed
+        assert resource.count == 2
+
+    def test_request_beyond_capacity_queues(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        env.run()
+        assert first.processed
+        assert not second.triggered
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_waiter(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        env.run()
+        resource.release(first)
+        env.run()
+        assert second.processed
+        assert resource.count == 1
+
+    def test_release_unknown_request_raises(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        granted = resource.request()
+        env.run()
+        resource.release(granted)
+        with pytest.raises(ValueError):
+            resource.release(granted)
+
+    def test_release_queued_request_cancels_it(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        resource.request()
+        waiting = resource.request()
+        env.run()
+        resource.release(waiting)
+        assert resource.queue_length == 0
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(name, hold):
+            request = resource.request()
+            yield request
+            order.append(name)
+            yield env.timeout(hold)
+            resource.release(request)
+
+        for name in ("first", "second", "third"):
+            env.process(user(name, 1.0))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_contention_serializes_time(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        finish = []
+
+        def user():
+            request = resource.request()
+            yield request
+            yield env.timeout(2.0)
+            resource.release(request)
+            finish.append(env.now)
+
+        env.process(user())
+        env.process(user())
+        env.run()
+        assert finish == [2.0, 4.0]
+
+
+class TestInfiniteResource:
+    def test_never_blocks(self):
+        env = Environment()
+        resource = InfiniteResource(env)
+        requests = [resource.request() for _ in range(100)]
+        env.run()
+        assert all(request.processed for request in requests)
+        assert resource.queue_length == 0
+
+    def test_count_tracks_outstanding(self):
+        env = Environment()
+        resource = InfiniteResource(env)
+        request = resource.request()
+        assert resource.count == 1
+        resource.release(request)
+        assert resource.count == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+        get = store.get()
+        env.run()
+        assert get.value == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def consumer():
+            value = yield store.get()
+            results.append((env.now, value))
+
+        def producer():
+            yield env.timeout(4.0)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert results == [(4.0, "late")]
+
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        for index in range(3):
+            store.put(index)
+        values = [store.get(), store.get(), store.get()]
+        env.run()
+        assert [get.value for get in values] == [0, 1, 2]
+
+    def test_items_property(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert store.items == ["a", "b"]
+
+
+class TestContainer:
+    def test_initial_level_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, init=-1.0)
+        with pytest.raises(ValueError):
+            Container(env, init=5.0, capacity=1.0)
+
+    def test_get_waits_for_level(self):
+        env = Environment()
+        container = Container(env, init=1.0)
+        get = container.get(3.0)
+        env.run()
+        assert not get.triggered
+        container.put(2.5)
+        env.run()
+        assert get.processed
+
+    def test_put_respects_capacity(self):
+        env = Environment()
+        container = Container(env, init=0.0, capacity=2.0)
+        container.put(10.0)
+        assert container.level == 2.0
+
+    def test_negative_amounts_rejected(self):
+        env = Environment()
+        container = Container(env)
+        with pytest.raises(ValueError):
+            container.put(-1.0)
+        with pytest.raises(ValueError):
+            container.get(-1.0)

@@ -1,0 +1,59 @@
+"""Unit tests for collective cost models."""
+
+import math
+
+import pytest
+
+from repro.dimemas.collectives import collective_duration
+from repro.dimemas.platform import Platform
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def platform():
+    return Platform(latency=1.0e-5, bandwidth_mbps=100.0)
+
+
+class TestCollectiveCostModels:
+    def test_single_rank_is_free(self, platform):
+        assert collective_duration("allreduce", 1024, 1, platform) == 0.0
+
+    def test_barrier_is_latency_bound(self, platform):
+        duration = collective_duration("barrier", 0, 16, platform)
+        assert duration == pytest.approx(4 * platform.latency)
+
+    def test_bcast_scales_with_log_p(self, platform):
+        small = collective_duration("bcast", 1000, 4, platform)
+        large = collective_duration("bcast", 1000, 16, platform)
+        assert large == pytest.approx(2 * small)
+
+    def test_allreduce_is_twice_reduce(self, platform):
+        reduce_time = collective_duration("reduce", 4096, 8, platform)
+        allreduce_time = collective_duration("allreduce", 4096, 8, platform)
+        assert allreduce_time == pytest.approx(2 * reduce_time)
+
+    def test_alltoall_scales_linearly_with_p(self, platform):
+        p8 = collective_duration("alltoall", 1000, 8, platform)
+        p16 = collective_duration("alltoall", 1000, 16, platform)
+        assert p16 / p8 == pytest.approx(15 / 7)
+
+    def test_allgather_matches_ring_model(self, platform):
+        duration = collective_duration("allgather", 2000, 4, platform)
+        per_message = platform.latency + 2000 / platform.bandwidth_bytes_per_second
+        assert duration == pytest.approx(3 * per_message)
+
+    def test_duration_increases_with_size(self, platform):
+        assert (collective_duration("allreduce", 10**6, 8, platform)
+                > collective_duration("allreduce", 10**3, 8, platform))
+
+    def test_non_power_of_two_uses_ceiling(self, platform):
+        duration = collective_duration("barrier", 0, 9, platform)
+        assert duration == pytest.approx(math.ceil(math.log2(9)) * platform.latency)
+
+    def test_unknown_operation_rejected(self, platform):
+        with pytest.raises(SimulationError):
+            collective_duration("allmagic", 0, 4, platform)
+
+    def test_invalid_rank_count_rejected(self, platform):
+        with pytest.raises(SimulationError):
+            collective_duration("barrier", 0, 0, platform)

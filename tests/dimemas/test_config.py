@@ -1,0 +1,69 @@
+"""Unit tests for the Dimemas-style platform configuration files."""
+
+import pytest
+
+from repro.dimemas.config import (
+    config_to_platform,
+    load_platform,
+    platform_to_config,
+    save_platform,
+)
+from repro.dimemas.platform import Platform
+from repro.errors import ConfigurationError
+
+
+class TestConfigRoundTrip:
+    def test_round_trip_preserves_every_field(self):
+        platform = Platform(name="mn-like", relative_cpu_speed=2.0, latency=1e-6,
+                            bandwidth_mbps=1000.0, num_buses=4, input_links=2,
+                            output_links=2, eager_threshold=32768,
+                            processors_per_node=4, cpu_contention=True)
+        rebuilt = config_to_platform(platform_to_config(platform))
+        assert rebuilt == platform
+
+    def test_file_round_trip(self, tmp_path):
+        platform = Platform(name="file-test", bandwidth_mbps=123.0)
+        path = save_platform(platform, tmp_path / "platform.cfg")
+        assert load_platform(path) == platform
+
+    def test_config_text_is_commented_and_readable(self):
+        text = platform_to_config(Platform())
+        assert text.startswith("#")
+        assert "bandwidth_mbps = 250.0" in text
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # a comment
+        bandwidth_mbps = 10   # trailing comment
+
+        latency = 1e-6
+        """
+        platform = config_to_platform(text)
+        assert platform.bandwidth_mbps == 10.0
+        assert platform.latency == 1e-6
+
+    def test_boolean_parsing(self):
+        assert config_to_platform("cpu_contention = true").cpu_contention
+        assert not config_to_platform("cpu_contention = false").cpu_contention
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_to_platform("warp_speed = 9")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_to_platform("bandwidth_mbps 250")
+
+    def test_unparseable_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_to_platform("num_buses = many")
+
+    def test_invalid_platform_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_to_platform("latency = -1")
+
+    def test_missing_file_reported(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_platform(tmp_path / "nope.cfg")

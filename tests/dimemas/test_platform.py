@@ -1,0 +1,85 @@
+"""Unit tests for the platform description."""
+
+import pytest
+
+from repro.dimemas.platform import Platform
+from repro.errors import ConfigurationError
+
+
+class TestPlatformValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"relative_cpu_speed": 0.0},
+        {"latency": -1.0},
+        {"bandwidth_mbps": -5.0},
+        {"num_buses": -1},
+        {"eager_threshold": -1},
+        {"processors_per_node": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Platform(**kwargs)
+
+    def test_defaults_are_valid(self):
+        platform = Platform()
+        assert platform.bandwidth_mbps == 250.0
+        assert platform.latency == pytest.approx(5.0e-6)
+
+
+class TestDerivedQuantities:
+    def test_bandwidth_conversion(self):
+        assert Platform(bandwidth_mbps=100.0).bandwidth_bytes_per_second == 1.0e8
+
+    def test_zero_bandwidth_means_infinite(self):
+        assert Platform(bandwidth_mbps=0.0).bandwidth_bytes_per_second == float("inf")
+
+    def test_transfer_time(self):
+        platform = Platform(latency=1.0e-5, bandwidth_mbps=100.0)
+        assert platform.transfer_time(1_000_000) == pytest.approx(1.0e-5 + 0.01)
+
+    def test_transfer_time_infinite_bandwidth(self):
+        platform = Platform(latency=2.0e-6, bandwidth_mbps=0.0)
+        assert platform.transfer_time(10**9) == pytest.approx(2.0e-6)
+
+    def test_transfer_time_intranode(self):
+        platform = Platform(intranode_latency=1.0e-6, intranode_bandwidth_mbps=1000.0)
+        assert platform.transfer_time(1_000_000, intranode=True) == pytest.approx(
+            1.0e-6 + 0.001)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Platform().transfer_time(-1)
+
+
+class TestNodeMapping:
+    def test_one_rank_per_node_by_default(self):
+        platform = Platform()
+        assert [platform.node_of(r) for r in range(4)] == [0, 1, 2, 3]
+
+    def test_block_mapping(self):
+        platform = Platform(processors_per_node=4)
+        assert platform.node_of(3) == 0
+        assert platform.node_of(4) == 1
+        assert platform.num_nodes(10) == 3
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Platform().node_of(-1)
+
+
+class TestCopies:
+    def test_with_bandwidth(self):
+        base = Platform(bandwidth_mbps=250.0)
+        faster = base.with_bandwidth(1000.0)
+        assert faster.bandwidth_mbps == 1000.0
+        assert base.bandwidth_mbps == 250.0
+        assert faster.latency == base.latency
+
+    def test_with_latency_and_cpu_speed(self):
+        base = Platform()
+        assert base.with_latency(1e-6).latency == 1e-6
+        assert base.with_cpu_speed(2.0).relative_cpu_speed == 2.0
+
+    def test_ideal_network_factory(self):
+        ideal = Platform.ideal_network()
+        assert ideal.bandwidth_bytes_per_second == float("inf")
+        assert ideal.latency == 0.0

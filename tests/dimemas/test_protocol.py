@@ -1,0 +1,23 @@
+"""Unit tests for eager/rendezvous protocol selection."""
+
+from repro.dimemas.platform import Platform
+from repro.dimemas.protocol import Protocol, select_protocol
+
+
+class TestProtocolSelection:
+    def test_small_message_is_eager(self):
+        platform = Platform(eager_threshold=65536)
+        assert select_protocol(1024, platform) is Protocol.EAGER
+
+    def test_threshold_is_inclusive(self):
+        platform = Platform(eager_threshold=65536)
+        assert select_protocol(65536, platform) is Protocol.EAGER
+
+    def test_large_message_is_rendezvous(self):
+        platform = Platform(eager_threshold=65536)
+        assert select_protocol(65537, platform) is Protocol.RENDEZVOUS
+
+    def test_zero_threshold_forces_rendezvous(self):
+        platform = Platform(eager_threshold=0)
+        assert select_protocol(1, platform) is Protocol.RENDEZVOUS
+        assert select_protocol(0, platform) is Protocol.EAGER

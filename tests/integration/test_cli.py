@@ -1,0 +1,72 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "nas-bt" in out and "sweep3d" in out
+
+    def test_study_command(self, capsys):
+        code = main(["study", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--bandwidth", "250"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "sancho-loop" in out
+
+    def test_study_with_gantt(self, capsys):
+        code = main(["study", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "1", "--gantt", "--chunk-count", "4"])
+        assert code == 0
+        assert "legend:" in capsys.readouterr().out
+
+    def test_trace_then_simulate(self, tmp_path, capsys):
+        trace_path = tmp_path / "loop.json"
+        assert main(["trace", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--output", str(trace_path)]) == 0
+        assert trace_path.exists()
+        prv_path = tmp_path / "loop.prv"
+        assert main(["simulate", "--trace", str(trace_path),
+                     "--bandwidth", "100", "--prv", str(prv_path)]) == 0
+        assert prv_path.exists()
+        out = capsys.readouterr().out
+        assert "total_time" in out
+
+    def test_trace_with_overlap_variant(self, tmp_path, capsys):
+        trace_path = tmp_path / "overlapped.json"
+        assert main(["trace", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--output", str(trace_path),
+                     "--overlap", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_sweep_command(self, capsys):
+        code = main(["sweep", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--min-bandwidth", "20",
+                     "--max-bandwidth", "2000", "--samples", "3",
+                     "--chunk-count", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bandwidth sweep" in out and "peak ideal-pattern speedup" in out
+
+    def test_profile_command(self, tmp_path, capsys):
+        original = tmp_path / "orig.json"
+        overlapped = tmp_path / "over.json"
+        assert main(["trace", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--output", str(original)]) == 0
+        assert main(["trace", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--output", str(overlapped),
+                     "--overlap", "ideal"]) == 0
+        assert main(["profile", "--trace", str(original),
+                     "--compare", str(overlapped)]) == 0
+        out = capsys.readouterr().out
+        assert "profile of" in out and "expansion report" in out
+
+    def test_missing_trace_file_reports_error(self, capsys, tmp_path):
+        code = main(["simulate", "--trace", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,54 @@
+"""Unit tests for communicators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi.communicator import Communicator
+
+
+class TestCommunicator:
+    def test_world(self):
+        world = Communicator.world(8)
+        assert world.size == 8
+        assert world.ranks == list(range(8))
+        assert world.name == "MPI_COMM_WORLD"
+
+    def test_world_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            Communicator.world(0)
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Communicator([0, 1, 1])
+
+    def test_negative_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Communicator([0, -1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Communicator([])
+
+    def test_rank_translation(self):
+        comm = Communicator([4, 7, 9])
+        assert comm.rank_of(7) == 1
+        assert comm.world_rank(2) == 9
+        assert 7 in comm and 5 not in comm
+
+    def test_rank_translation_errors(self):
+        comm = Communicator([4, 7, 9])
+        with pytest.raises(ConfigurationError):
+            comm.rank_of(5)
+        with pytest.raises(ConfigurationError):
+            comm.world_rank(3)
+
+    def test_split_by_color(self):
+        world = Communicator.world(6)
+        rows = world.split([0, 0, 0, 1, 1, 1], name="row")
+        assert len(rows) == 2
+        assert rows[0].ranks == [0, 1, 2]
+        assert rows[1].ranks == [3, 4, 5]
+
+    def test_split_requires_color_per_member(self):
+        with pytest.raises(ConfigurationError):
+            Communicator.world(4).split([0, 1])

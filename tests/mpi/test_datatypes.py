@@ -1,0 +1,43 @@
+"""Unit tests for MPI datatypes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi.datatypes import BYTE, DOUBLE, FLOAT, INT, PREDEFINED, Datatype
+
+
+class TestPredefined:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_registry_contains_all(self):
+        assert set(PREDEFINED) >= {"MPI_BYTE", "MPI_INT", "MPI_FLOAT", "MPI_DOUBLE"}
+
+
+class TestDerived:
+    def test_contiguous(self):
+        derived = DOUBLE.contiguous(10)
+        assert derived.size == 80
+
+    def test_contiguous_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            DOUBLE.contiguous(0)
+
+    def test_vector_payload_size(self):
+        vector = DOUBLE.vector(count=4, blocklength=3, stride=10)
+        assert vector.size == 4 * 3 * 8
+
+    def test_vector_invalid_stride(self):
+        with pytest.raises(ConfigurationError):
+            DOUBLE.vector(count=4, blocklength=5, stride=3)
+
+    def test_custom_datatype_validation(self):
+        with pytest.raises(ConfigurationError):
+            Datatype("broken", 0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DOUBLE.size = 16  # type: ignore[misc]

@@ -1,0 +1,98 @@
+"""Unit tests for process topologies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi.topology import CartesianTopology, GraphTopology, balanced_dims
+
+
+class TestBalancedDims:
+    @pytest.mark.parametrize("ranks,ndims", [(16, 2), (12, 2), (8, 3), (7, 2), (1, 2)])
+    def test_product_equals_ranks(self, ranks, ndims):
+        dims = balanced_dims(ranks, ndims)
+        product = 1
+        for dim in dims:
+            product *= dim
+        assert product == ranks
+        assert len(dims) == ndims
+
+    def test_square_for_perfect_square(self):
+        assert sorted(balanced_dims(16, 2)) == [4, 4]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            balanced_dims(0, 2)
+        with pytest.raises(ConfigurationError):
+            balanced_dims(4, 0)
+
+
+class TestCartesianTopology:
+    def test_coords_round_trip(self):
+        topo = CartesianTopology([4, 4])
+        for rank in range(topo.size):
+            assert topo.rank(topo.coords(rank)) == rank
+
+    def test_shift_interior(self):
+        topo = CartesianTopology([4, 4])
+        rank = topo.rank([1, 1])
+        assert topo.shift(rank, 0, +1) == topo.rank([2, 1])
+        assert topo.shift(rank, 1, -1) == topo.rank([1, 0])
+
+    def test_shift_off_edge_non_periodic(self):
+        topo = CartesianTopology([4, 4])
+        corner = topo.rank([0, 0])
+        assert topo.shift(corner, 0, -1) is None
+        assert topo.shift(corner, 1, -1) is None
+
+    def test_shift_periodic_wraps(self):
+        topo = CartesianTopology([4, 4], periodic=[True, True])
+        corner = topo.rank([0, 0])
+        assert topo.shift(corner, 0, -1) == topo.rank([3, 0])
+
+    def test_neighbors_interior_count(self):
+        topo = CartesianTopology([4, 4])
+        assert len(topo.neighbors(topo.rank([1, 1]))) == 4
+        assert len(topo.neighbors(topo.rank([0, 0]))) == 2
+
+    def test_neighbor_symmetry(self):
+        topo = CartesianTopology([4, 4])
+        for rank in range(topo.size):
+            for neighbor in topo.neighbors(rank).values():
+                assert rank in topo.neighbors(neighbor).values()
+
+    def test_square_factory(self):
+        topo = CartesianTopology.square(12, ndims=2)
+        assert topo.size == 12
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            CartesianTopology([0, 4])
+        with pytest.raises(ConfigurationError):
+            CartesianTopology([4, 4], periodic=[True])
+
+    def test_out_of_range_rank(self):
+        topo = CartesianTopology([2, 2])
+        with pytest.raises(ConfigurationError):
+            topo.coords(9)
+        with pytest.raises(ConfigurationError):
+            topo.rank([5, 0])
+
+
+class TestGraphTopology:
+    def test_neighbors_and_degree(self):
+        graph = GraphTopology({0: [1], 1: [0, 2], 2: [1]})
+        assert graph.neighbors(1) == [0, 2]
+        assert graph.degree(0) == 1
+        assert graph.size == 3
+
+    def test_symmetry_check(self):
+        assert GraphTopology({0: [1], 1: [0]}).is_symmetric()
+        assert not GraphTopology({0: [1], 1: []}).is_symmetric()
+
+    def test_invalid_neighbor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GraphTopology({0: [5]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GraphTopology({})

@@ -1,0 +1,93 @@
+"""Unit tests for the cross-rank trace validator."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.mpi.validation import MatchingValidator
+from repro.tracing.records import (
+    CollectiveRecord,
+    CpuBurst,
+    RecvRecord,
+    SendRecord,
+    WaitRecord,
+)
+from repro.tracing.trace import RankTrace, Trace
+
+
+def _matched_trace():
+    return Trace(ranks=[
+        RankTrace(rank=0, records=[
+            CpuBurst(instructions=10),
+            SendRecord(dst=1, size=100, tag=0, pair_seq=0),
+            CollectiveRecord(operation="barrier", comm_size=2),
+        ]),
+        RankTrace(rank=1, records=[
+            RecvRecord(src=0, size=100, tag=0, pair_seq=0),
+            CollectiveRecord(operation="barrier", comm_size=2),
+        ]),
+    ])
+
+
+class TestMatchingValidator:
+    def test_valid_trace_passes(self):
+        report = MatchingValidator().validate(_matched_trace())
+        assert report.ok
+        assert report.num_messages == 1
+        assert report.num_collectives == 1
+
+    def test_missing_receive_detected(self):
+        trace = _matched_trace()
+        trace[1].records.pop(0)
+        with pytest.raises(MatchingError, match="sends but 0 receives"):
+            MatchingValidator().validate(trace)
+
+    def test_orphan_receive_detected(self):
+        trace = _matched_trace()
+        trace[0].records.pop(1)
+        with pytest.raises(MatchingError, match="without any send"):
+            MatchingValidator().validate(trace)
+
+    def test_size_mismatch_detected(self):
+        trace = _matched_trace()
+        trace[1].records[0] = RecvRecord(src=0, size=999, tag=0, pair_seq=0)
+        with pytest.raises(MatchingError, match="size mismatch"):
+            MatchingValidator().validate(trace)
+
+    def test_collective_sequence_mismatch_detected(self):
+        trace = _matched_trace()
+        trace[1].records[-1] = CollectiveRecord(operation="allreduce", comm_size=2)
+        with pytest.raises(MatchingError, match="collective"):
+            MatchingValidator().validate(trace)
+
+    def test_collective_count_mismatch_detected(self):
+        trace = _matched_trace()
+        trace[0].records.append(CollectiveRecord(operation="barrier", comm_size=2))
+        with pytest.raises(MatchingError, match="collectives"):
+            MatchingValidator().validate(trace)
+
+    def test_unwaited_request_detected(self):
+        trace = _matched_trace()
+        trace[0].records.insert(
+            1, SendRecord(dst=1, size=4, tag=5, blocking=False, request=0))
+        trace[1].records.insert(0, RecvRecord(src=0, size=4, tag=5))
+        with pytest.raises(MatchingError, match="never waited"):
+            MatchingValidator().validate(trace)
+
+    def test_unknown_wait_detected(self):
+        trace = _matched_trace()
+        trace[0].records.append(WaitRecord(requests=[99]))
+        with pytest.raises(MatchingError, match="unknown requests"):
+            MatchingValidator().validate(trace)
+
+    def test_non_strict_returns_issues(self):
+        trace = _matched_trace()
+        trace[1].records.pop(0)
+        report = MatchingValidator(strict=False).validate(trace)
+        assert not report.ok
+        assert any("receives" in issue for issue in report.issues)
+
+    def test_pair_seq_inconsistency_detected(self):
+        trace = _matched_trace()
+        trace[0].records[1] = SendRecord(dst=1, size=100, tag=0, pair_seq=5)
+        with pytest.raises(MatchingError, match="pair sequence"):
+            MatchingValidator().validate(trace)

@@ -1,0 +1,94 @@
+"""Unit tests for the Paraver-analyzer-style profiles."""
+
+import pytest
+
+from repro.paraver.profile import (
+    communication_matrix,
+    flight_time_statistics,
+    message_size_histogram,
+    overlap_efficiency,
+    state_profile,
+)
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import Timeline
+
+
+def _timeline(scale=1.0):
+    tl = Timeline(num_ranks=2, name="profile")
+    tl.add_interval(0, 0.0, 1.0 * scale, ThreadState.RUNNING)
+    tl.add_interval(0, 1.0 * scale, 1.5 * scale, ThreadState.RECV_WAIT)
+    tl.add_interval(1, 0.0, 1.3 * scale, ThreadState.RUNNING)
+    tl.add_interval(1, 1.3 * scale, 1.5 * scale, ThreadState.COLLECTIVE)
+    tl.add_communication(0, 1, 2_000, 1, 0.1, 0.3)
+    tl.add_communication(1, 0, 500_000, 1, 0.4, 0.9)
+    return tl
+
+
+class TestStateProfile:
+    def test_per_rank_and_totals(self):
+        profile = state_profile(_timeline())
+        assert profile.per_rank[0][ThreadState.RUNNING] == pytest.approx(1.0)
+        assert profile.totals[ThreadState.RUNNING] == pytest.approx(2.3)
+
+    def test_percentages(self):
+        profile = state_profile(_timeline())
+        assert profile.percentage(ThreadState.RUNNING, rank=0) == pytest.approx(100 * 1.0 / 1.5)
+        assert profile.percentage(ThreadState.RUNNING) == pytest.approx(100 * 2.3 / 3.0)
+
+    def test_imbalance(self):
+        profile = state_profile(_timeline())
+        assert profile.imbalance(ThreadState.RUNNING) == pytest.approx(1.3 / 1.15)
+
+    def test_rows_shape(self):
+        rows = state_profile(_timeline()).as_rows()
+        assert len(rows) == 2
+        assert len(rows[0]) == 1 + len(ThreadState)
+
+
+class TestCommunicationViews:
+    def test_communication_matrix(self):
+        matrix = communication_matrix(_timeline())
+        assert matrix[0][1] == 2_000
+        assert matrix[1][0] == 500_000
+        assert matrix[0][0] == 0
+
+    def test_message_size_histogram(self):
+        histogram = message_size_histogram(_timeline())
+        assert sum(histogram.values()) == 2
+        assert histogram["1024-8191"] == 1
+        assert histogram[">=1048576"] == 0
+
+    def test_flight_time_statistics(self):
+        stats = flight_time_statistics(_timeline())
+        assert stats["count"] == 2
+        assert stats["min"] == pytest.approx(0.2)
+        assert stats["max"] == pytest.approx(0.5)
+
+    def test_empty_timeline_statistics(self):
+        stats = flight_time_statistics(Timeline(num_ranks=1))
+        assert stats["count"] == 0
+
+
+class TestOverlapEfficiency:
+    def test_hidden_fraction(self):
+        original = _timeline(scale=1.0)
+        overlapped = Timeline(num_ranks=2, name="over")
+        overlapped.add_interval(0, 0.0, 1.0, ThreadState.RUNNING)
+        overlapped.add_interval(1, 0.0, 1.3, ThreadState.RUNNING)
+        overlapped.add_interval(1, 1.3, 1.4, ThreadState.COLLECTIVE)
+        report = overlap_efficiency(original, overlapped)
+        assert report["original_blocked"] == pytest.approx(0.7)
+        assert report["overlapped_blocked"] == pytest.approx(0.1)
+        assert report["hidden_fraction"] == pytest.approx(0.6 / 0.7)
+
+    def test_no_blocking_in_original(self):
+        empty = Timeline(num_ranks=1)
+        report = overlap_efficiency(empty, empty)
+        assert report["hidden_fraction"] == 0.0
+
+    def test_efficiency_on_simulated_study(self, environment, small_loop):
+        study = environment.study(small_loop)
+        report = overlap_efficiency(study.original_result.timeline,
+                                    study.result("ideal").timeline)
+        assert report["hidden"] > 0
+        assert 0.0 < report["hidden_fraction"] <= 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for the .prv exporter, the ASCII Gantt and timeline comparison."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.paraver.ascii import render_gantt, render_side_by_side
+from repro.paraver.compare import compare_timelines, side_by_side
+from repro.paraver.prv import export_prv, to_prv
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import Timeline
+
+
+def _timeline(name="demo", scale=1.0):
+    tl = Timeline(num_ranks=2, name=name)
+    tl.add_interval(0, 0.0, 1.0 * scale, ThreadState.RUNNING)
+    tl.add_interval(0, 1.0 * scale, 1.4 * scale, ThreadState.RECV_WAIT)
+    tl.add_interval(1, 0.0, 1.2 * scale, ThreadState.RUNNING)
+    tl.add_communication(0, 1, 2048, 3, 0.2 * scale, 0.8 * scale)
+    return tl
+
+
+class TestPrvExport:
+    def test_header_and_record_counts(self):
+        text = to_prv(_timeline())
+        lines = text.strip().split("\n")
+        assert lines[0].startswith("#Paraver")
+        state_records = [line for line in lines if line.startswith("1:")]
+        comm_records = [line for line in lines if line.startswith("3:")]
+        assert len(state_records) == 3
+        assert len(comm_records) == 1
+
+    def test_state_record_format(self):
+        text = to_prv(_timeline())
+        record = [line for line in text.split("\n") if line.startswith("1:")][0]
+        fields = record.split(":")
+        assert len(fields) == 8
+        assert fields[7] == str(int(ThreadState.RUNNING))
+
+    def test_times_in_nanoseconds(self):
+        text = to_prv(_timeline())
+        record = [line for line in text.split("\n") if line.startswith("1:")][0]
+        assert int(record.split(":")[6]) == 1_000_000_000
+
+    def test_export_writes_file(self, tmp_path):
+        path = export_prv(_timeline(), tmp_path / "trace.prv")
+        assert path.exists()
+        assert path.read_text().startswith("#Paraver")
+
+
+class TestAsciiGantt:
+    def test_contains_every_rank_row(self):
+        chart = render_gantt(_timeline(), width=40)
+        assert "rank   0" in chart and "rank   1" in chart
+        assert "legend:" in chart
+
+    def test_running_glyph_dominates(self):
+        chart = render_gantt(_timeline(), width=40)
+        rows = [line for line in chart.split("\n") if line.startswith("rank")]
+        assert rows[0].count("#") > rows[0].count("r")
+
+    def test_width_validation(self):
+        with pytest.raises(AnalysisError):
+            render_gantt(_timeline(), width=2)
+
+    def test_empty_timeline_renders(self):
+        chart = render_gantt(Timeline(num_ranks=1), width=40)
+        assert "empty" in chart
+
+    def test_side_by_side_scales_widths(self):
+        fast, slow = _timeline("fast", scale=0.5), _timeline("slow", scale=1.0)
+        text = render_side_by_side(slow, fast, width=40)
+        assert "fast" in text and "slow" in text
+
+
+class TestCompare:
+    def test_speedup_and_percent(self):
+        baseline, candidate = _timeline("orig"), _timeline("over", scale=0.5)
+        comparison = compare_timelines(baseline, candidate)
+        assert comparison.speedup == pytest.approx(2.0)
+        assert comparison.improvement_percent == pytest.approx(100.0)
+
+    def test_state_deltas(self):
+        baseline, candidate = _timeline("orig"), _timeline("over", scale=0.5)
+        comparison = compare_timelines(baseline, candidate)
+        assert comparison.state_deltas[ThreadState.RUNNING] == pytest.approx(-1.1)
+
+    def test_summary_text(self):
+        comparison = compare_timelines(_timeline("a"), _timeline("b"))
+        text = comparison.summary()
+        assert "speedup" in text and "a" in text and "b" in text
+
+    def test_rank_count_mismatch_rejected(self):
+        other = Timeline(num_ranks=3)
+        with pytest.raises(AnalysisError):
+            compare_timelines(_timeline(), other)
+
+    def test_side_by_side_helper(self):
+        assert "orig" in side_by_side(_timeline("orig"), _timeline("over"))

@@ -1,0 +1,26 @@
+"""Unit tests for thread-state semantics."""
+
+from repro.paraver.states import ThreadState
+
+
+class TestThreadState:
+    def test_paraver_codes(self):
+        assert int(ThreadState.IDLE) == 0
+        assert int(ThreadState.RUNNING) == 1
+        assert int(ThreadState.RECV_WAIT) == 3
+        assert int(ThreadState.SEND_WAIT) == 4
+        assert int(ThreadState.COLLECTIVE) == 5
+
+    def test_labels_unique(self):
+        labels = {state.label for state in ThreadState}
+        assert len(labels) == len(ThreadState)
+
+    def test_glyphs_unique_single_char(self):
+        glyphs = {state.glyph for state in ThreadState}
+        assert len(glyphs) == len(ThreadState)
+        assert all(len(state.glyph) == 1 for state in ThreadState)
+
+    def test_blocking_states_exclude_running(self):
+        blocking = ThreadState.blocking_states()
+        assert ThreadState.RUNNING not in blocking
+        assert ThreadState.RECV_WAIT in blocking

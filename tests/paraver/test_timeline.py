@@ -1,0 +1,86 @@
+"""Unit tests for timelines and state intervals."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import CommunicationEvent, StateInterval, Timeline
+
+
+@pytest.fixture
+def timeline():
+    tl = Timeline(num_ranks=2, name="demo")
+    tl.add_interval(0, 0.0, 1.0, ThreadState.RUNNING)
+    tl.add_interval(0, 1.0, 1.5, ThreadState.RECV_WAIT)
+    tl.add_interval(1, 0.0, 2.0, ThreadState.RUNNING)
+    tl.add_communication(0, 1, 1024, 7, 0.5, 0.9)
+    return tl
+
+
+class TestStateInterval:
+    def test_duration(self):
+        interval = StateInterval(0, 1.0, 3.5, ThreadState.RUNNING)
+        assert interval.duration == 2.5
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(AnalysisError):
+            StateInterval(0, 2.0, 1.0, ThreadState.RUNNING)
+
+
+class TestTimeline:
+    def test_duration_is_latest_end(self, timeline):
+        assert timeline.duration == 2.0
+
+    def test_zero_length_intervals_dropped(self, timeline):
+        before = len(timeline.intervals)
+        timeline.add_interval(0, 3.0, 3.0, ThreadState.RUNNING)
+        assert len(timeline.intervals) == before
+
+    def test_rank_out_of_range_rejected(self, timeline):
+        with pytest.raises(AnalysisError):
+            timeline.add_interval(5, 0.0, 1.0, ThreadState.RUNNING)
+
+    def test_time_in_state(self, timeline):
+        assert timeline.time_in_state(ThreadState.RUNNING) == pytest.approx(3.0)
+        assert timeline.time_in_state(ThreadState.RUNNING, rank=0) == pytest.approx(1.0)
+        assert timeline.time_in_state(ThreadState.RECV_WAIT, rank=1) == 0.0
+
+    def test_state_profile(self, timeline):
+        profile = timeline.state_profile()
+        assert profile[ThreadState.RUNNING] == pytest.approx(3.0)
+        assert profile[ThreadState.RECV_WAIT] == pytest.approx(0.5)
+
+    def test_compute_fraction(self, timeline):
+        assert timeline.compute_fraction() == pytest.approx(3.0 / 4.0)
+
+    def test_state_at(self, timeline):
+        assert timeline.state_at(0, 0.5) is ThreadState.RUNNING
+        assert timeline.state_at(0, 1.2) is ThreadState.RECV_WAIT
+        assert timeline.state_at(0, 5.0) is ThreadState.IDLE
+
+    def test_rank_intervals_sorted(self):
+        tl = Timeline(num_ranks=1)
+        tl.add_interval(0, 2.0, 3.0, ThreadState.RUNNING)
+        tl.add_interval(0, 0.0, 1.0, ThreadState.RECV_WAIT)
+        starts = [i.start for i in tl.rank_intervals(0)]
+        assert starts == [0.0, 2.0]
+
+    def test_validate_accepts_disjoint(self, timeline):
+        timeline.validate()
+
+    def test_validate_rejects_overlap(self):
+        tl = Timeline(num_ranks=1)
+        tl.add_interval(0, 0.0, 2.0, ThreadState.RUNNING)
+        tl.add_interval(0, 1.0, 3.0, ThreadState.RECV_WAIT)
+        with pytest.raises(AnalysisError):
+            tl.validate()
+
+    def test_communication_event(self, timeline):
+        comm = timeline.communications[0]
+        assert isinstance(comm, CommunicationEvent)
+        assert comm.flight_time == pytest.approx(0.4)
+
+    def test_empty_timeline(self):
+        tl = Timeline(num_ranks=3)
+        assert tl.duration == 0.0
+        assert tl.compute_fraction() == 0.0

@@ -1,0 +1,61 @@
+"""Property-based tests for chunking policies and chunk tags."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import FixedCountChunking, FixedSizeChunking, MAX_CHUNKS_PER_MESSAGE
+from repro.core.overlap import chunk_tag
+
+policies = st.one_of(
+    st.builds(FixedCountChunking,
+              count=st.integers(min_value=1, max_value=64),
+              min_chunk_bytes=st.integers(min_value=1, max_value=4096)),
+    st.builds(FixedSizeChunking,
+              chunk_bytes=st.integers(min_value=1, max_value=10**6),
+              max_chunks=st.integers(min_value=1, max_value=256)),
+)
+
+sizes = st.integers(min_value=0, max_value=10**7)
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies, size=sizes)
+def test_chunk_sizes_sum_to_message_size(policy, size):
+    chunks = policy.chunks(size)
+    assert sum(chunk.size for chunk in chunks) == size
+    assert 1 <= len(chunks) <= MAX_CHUNKS_PER_MESSAGE
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies, size=sizes)
+def test_chunks_partition_the_unit_interval(policy, size):
+    chunks = policy.chunks(size)
+    assert chunks[0].lo == 0.0
+    assert abs(chunks[-1].hi - 1.0) < 1e-12
+    for left, right in zip(chunks, chunks[1:]):
+        assert abs(left.hi - right.lo) < 1e-12
+        assert right.index == left.index + 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies, size=sizes)
+def test_chunking_is_deterministic(policy, size):
+    assert policy.chunks(size) == policy.chunks(size)
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies, size=sizes)
+def test_chunk_sizes_are_balanced(policy, size):
+    chunks = policy.chunks(size)
+    sizes_list = [chunk.size for chunk in chunks]
+    assert max(sizes_list) - min(sizes_list) <= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(tags=st.lists(st.tuples(st.integers(min_value=0, max_value=200),
+                               st.integers(min_value=0, max_value=5000),
+                               st.integers(min_value=0, max_value=511)),
+                     min_size=2, max_size=50, unique=True))
+def test_chunk_tags_are_injective(tags):
+    derived = [chunk_tag(tag, seq, chunk) for tag, seq, chunk in tags]
+    assert len(set(derived)) == len(tags)

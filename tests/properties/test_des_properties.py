@@ -1,0 +1,82 @@
+"""Property-based tests for the DES kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, Resource
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=30))
+def test_events_processed_in_nondecreasing_time_order(delays):
+    env = Environment()
+    processed = []
+    for delay in delays:
+        env.timeout(delay).add_callback(lambda ev: processed.append(env.now))
+    env.run()
+    assert processed == sorted(processed)
+    assert env.now == max(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.01, max_value=100.0,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=20))
+def test_sequential_process_time_is_sum_of_delays(delays):
+    env = Environment()
+
+    def worker():
+        for delay in delays:
+            yield env.timeout(delay)
+
+    process = env.process(worker())
+    env.run()
+    assert process.processed
+    assert abs(env.now - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@settings(max_examples=30, deadline=None)
+@given(holds=st.lists(st.floats(min_value=0.1, max_value=10.0,
+                                allow_nan=False, allow_infinity=False),
+                      min_size=1, max_size=15),
+       capacity=st.integers(min_value=1, max_value=4))
+def test_resource_serialization_bounds_makespan(holds, capacity):
+    """With capacity C the makespan lies between sum/C and sum (work conservation)."""
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+
+    def user(hold):
+        request = resource.request()
+        yield request
+        yield env.timeout(hold)
+        resource.release(request)
+
+    for hold in holds:
+        env.process(user(hold))
+    env.run()
+    total = sum(holds)
+    assert env.now <= total + 1e-9
+    assert env.now >= total / capacity - 1e-9
+    assert env.now >= max(holds) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(count=st.integers(min_value=1, max_value=40))
+def test_all_waiters_eventually_granted(count):
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    completed = []
+
+    def user(index):
+        request = resource.request()
+        yield request
+        yield env.timeout(1.0)
+        resource.release(request)
+        completed.append(index)
+
+    for index in range(count):
+        env.process(user(index))
+    env.run()
+    assert completed == list(range(count))

@@ -1,0 +1,44 @@
+"""Smoke tests of the public package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert repro.__version__
+        from repro._version import __version__
+        assert repro.__version__ == __version__
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("module", [
+        "repro.des", "repro.tracing", "repro.mpi", "repro.apps",
+        "repro.dimemas", "repro.paraver", "repro.core", "repro.workloads",
+        "repro.cli",
+    ])
+    def test_subpackages_importable(self, module):
+        imported = importlib.import_module(module)
+        assert imported.__doc__, f"{module} has no module docstring"
+
+    @pytest.mark.parametrize("module", [
+        "repro.des", "repro.tracing", "repro.mpi", "repro.apps",
+        "repro.dimemas", "repro.paraver", "repro.core", "repro.workloads",
+    ])
+    def test_all_exports_resolve(self, module):
+        imported = importlib.import_module(module)
+        for name in getattr(imported, "__all__", []):
+            assert getattr(imported, name) is not None
+
+    def test_minimal_workflow_from_top_level_imports(self):
+        from repro import OverlapStudyEnvironment, Platform
+        from repro.apps import SanchoLoop
+
+        environment = OverlapStudyEnvironment(platform=Platform(bandwidth_mbps=500.0))
+        study = environment.study(SanchoLoop(num_ranks=2, iterations=1))
+        assert study.original_result.total_time > 0

@@ -1,0 +1,58 @@
+"""Tests for the workload generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi.validation import MatchingValidator
+from repro.tracing import TracingVirtualMachine
+from repro.workloads import RandomExchangeWorkload, WorkloadSpec, generate_workload
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        spec = WorkloadSpec()
+        assert spec.num_ranks == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_ranks": 1},
+        {"iterations": 0},
+        {"max_message_bytes": 0},
+        {"collective_probability": 1.5},
+        {"neighbor_count": 0},
+        {"neighbor_count": 4, "num_ranks": 4},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+
+class TestRandomExchangeWorkload:
+    def test_trace_is_valid(self):
+        app = generate_workload(seed=7, num_ranks=5, iterations=4)
+        trace = TracingVirtualMachine(validate=False).trace(app)
+        assert MatchingValidator(strict=False).validate(trace).ok
+
+    def test_same_seed_same_trace(self):
+        first = TracingVirtualMachine().trace(generate_workload(seed=3))
+        second = TracingVirtualMachine().trace(generate_workload(seed=3))
+        assert first.total_instructions() == second.total_instructions()
+        assert first.total_bytes() == second.total_bytes()
+
+    def test_different_seed_different_trace(self):
+        first = TracingVirtualMachine().trace(generate_workload(seed=1, iterations=5))
+        second = TracingVirtualMachine().trace(generate_workload(seed=2, iterations=5))
+        assert (first.total_bytes() != second.total_bytes()
+                or first.total_instructions() != second.total_instructions())
+
+    def test_describe_includes_seed(self):
+        app = generate_workload(seed=11)
+        assert app.describe()["seed"] == 11
+        assert isinstance(app, RandomExchangeWorkload)
+
+    def test_collectives_follow_probability(self):
+        never = generate_workload(seed=5, iterations=6, collective_probability=0.0)
+        always = generate_workload(seed=5, iterations=6, collective_probability=1.0)
+        trace_never = TracingVirtualMachine().trace(never)
+        trace_always = TracingVirtualMachine().trace(always)
+        assert len(trace_never[0].collectives()) == 0
+        assert len(trace_always[0].collectives()) == 6

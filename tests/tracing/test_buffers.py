@@ -1,0 +1,50 @@
+"""Unit tests for communication buffers."""
+
+import pytest
+
+from repro.errors import TracingError
+from repro.tracing.buffers import Buffer, BufferRegistry
+
+
+class TestBuffer:
+    def test_basic_properties(self):
+        buffer = Buffer("halo", 4096)
+        assert buffer.name == "halo"
+        assert buffer.size == 4096
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TracingError):
+            Buffer("", 16)
+
+    @pytest.mark.parametrize("size", [0, -4])
+    def test_non_positive_size_rejected(self, size):
+        with pytest.raises(TracingError):
+            Buffer("x", size)
+
+    def test_equality_and_hash(self):
+        assert Buffer("a", 10) == Buffer("a", 10)
+        assert Buffer("a", 10) != Buffer("a", 20)
+        assert len({Buffer("a", 10), Buffer("a", 10)}) == 1
+
+
+class TestBufferRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = BufferRegistry()
+        first = registry.get_or_create("face", 100)
+        second = registry.get_or_create("face", 100)
+        assert first is second
+        assert len(registry) == 1
+
+    def test_size_mismatch_rejected(self):
+        registry = BufferRegistry()
+        registry.get_or_create("face", 100)
+        with pytest.raises(TracingError):
+            registry.get_or_create("face", 200)
+
+    def test_contains_and_getitem(self):
+        registry = BufferRegistry()
+        registry.get_or_create("face", 100)
+        assert "face" in registry
+        assert registry["face"].size == 100
+        with pytest.raises(TracingError):
+            registry["missing"]

@@ -1,0 +1,121 @@
+"""Unit tests for the application-facing rank context."""
+
+import pytest
+
+from repro.errors import TracingError
+from repro.tracing.context import RankContext, RequestHandle
+from repro.tracing.records import CollectiveRecord, CpuBurst, SendRecord
+from repro.tracing.tracer import RankTracer
+
+
+@pytest.fixture
+def ctx():
+    tracer = RankTracer(rank=0, num_ranks=4)
+    context = RankContext(0, 4, tracer)
+    context._test_tracer = tracer
+    return context
+
+
+class TestIdentityAndBuffers:
+    def test_rank_properties(self, ctx):
+        assert ctx.rank == 0
+        assert ctx.num_ranks == 4
+
+    def test_buffer_reuse(self, ctx):
+        assert ctx.buffer("b", 100) is ctx.buffer("b", 100)
+
+    def test_buffer_size_conflict(self, ctx):
+        ctx.buffer("b", 100)
+        with pytest.raises(TracingError):
+            ctx.buffer("b", 200)
+
+
+class TestMessaging:
+    def test_send_with_buffer_uses_buffer_size(self, ctx):
+        buffer = ctx.buffer("face", 2048)
+        ctx.send(1, buffer)
+        record = ctx._test_tracer.finalize().sends()[0]
+        assert record.size == 2048
+        assert record.buffer == "face"
+
+    def test_send_with_explicit_size(self, ctx):
+        ctx.send(1, size=4096)
+        assert ctx._test_tracer.finalize().sends()[0].size == 4096
+
+    def test_size_and_buffer_mismatch_rejected(self, ctx):
+        buffer = ctx.buffer("face", 100)
+        with pytest.raises(TracingError):
+            ctx.send(1, buffer, size=200)
+
+    def test_missing_size_rejected(self, ctx):
+        with pytest.raises(TracingError):
+            ctx.recv(1)
+
+    def test_isend_returns_handle_and_wait_accepts_it(self, ctx):
+        handle = ctx.isend(1, size=100)
+        assert isinstance(handle, RequestHandle)
+        ctx.wait(handle)
+        trace = ctx._test_tracer.finalize()
+        assert trace.waits()[0].requests == [handle.request_id]
+
+    def test_waitall_accepts_list(self, ctx):
+        handles = [ctx.isend(1, size=10), ctx.irecv(2, size=10)]
+        ctx.waitall(handles)
+        assert len(ctx._test_tracer.finalize().waits()[0].requests) == 2
+
+    def test_wait_on_non_handle_rejected(self, ctx):
+        with pytest.raises(TracingError):
+            ctx.wait([42])
+
+    def test_sendrecv_produces_three_records(self, ctx):
+        out = ctx.buffer("out", 10)
+        inp = ctx.buffer("in", 10)
+        ctx.sendrecv(1, out, 3, inp)
+        trace = ctx._test_tracer.finalize()
+        assert trace.count(SendRecord) == 1
+        assert len(trace.recvs()) == 1
+        assert len(trace.waits()) == 1
+
+
+class TestComputeHelpers:
+    def test_compute_producing_interleaves_writes(self, ctx):
+        buffer = ctx.buffer("face", 800)
+        ctx.compute_producing(buffer, 1000, segments=4)
+        ctx.send(1, buffer)
+        record = ctx._test_tracer.finalize().sends()[0]
+        assert len(record.production) == 4
+        offsets = [event.offset for event in record.production]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == pytest.approx(250)
+        assert offsets[-1] == pytest.approx(1000)
+
+    def test_compute_consuming_reads_before_each_segment(self, ctx):
+        buffer = ctx.buffer("halo", 800)
+        ctx.recv(1, buffer)
+        ctx.compute_consuming(buffer, 1000, segments=4)
+        ctx.send(1, size=4)
+        record = ctx._test_tracer.finalize().recvs()[0]
+        assert len(record.consumption) == 4
+        assert record.consumption[0].offset == pytest.approx(0)
+
+    def test_invalid_segments_rejected(self, ctx):
+        buffer = ctx.buffer("b", 10)
+        with pytest.raises(TracingError):
+            ctx.compute_producing(buffer, 100, segments=0)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("method,operation", [
+        ("barrier", "barrier"), ("allreduce", "allreduce"), ("bcast", "bcast"),
+        ("reduce", "reduce"), ("gather", "gather"), ("allgather", "allgather"),
+        ("scatter", "scatter"), ("alltoall", "alltoall"),
+    ])
+    def test_collective_methods(self, ctx, method, operation):
+        getattr(ctx, method)()
+        record = ctx._test_tracer.finalize().collectives()[0]
+        assert isinstance(record, CollectiveRecord)
+        assert record.operation == operation
+
+    def test_allreduce_size_from_datatype(self, ctx):
+        ctx.allreduce(count=4)
+        assert ctx._test_tracer.finalize().collectives()[0].size == 32

@@ -1,0 +1,82 @@
+"""Unit tests for the tracing virtual machine."""
+
+import pytest
+
+from repro.apps.base import ApplicationModel
+from repro.errors import MatchingError, TracingError
+from repro.tracing.machine import TracingVirtualMachine
+from repro.tracing.records import SendRecord
+
+
+class PingPong(ApplicationModel):
+    """Tiny well-formed model: rank 0 and 1 exchange a message per iteration."""
+
+    name = "ping-pong"
+
+    def __init__(self, num_ranks=2, iterations=3):
+        super().__init__(num_ranks, iterations)
+
+    def run(self, ctx):
+        for _ in range(self.iterations):
+            ctx.compute(1000)
+            if ctx.rank == 0:
+                ctx.send(1, size=256)
+                ctx.recv(1, size=256)
+            elif ctx.rank == 1:
+                ctx.recv(0, size=256)
+                ctx.send(0, size=256)
+
+
+class Broken(ApplicationModel):
+    """Rank 0 sends but rank 1 never receives."""
+
+    name = "broken"
+
+    def __init__(self):
+        super().__init__(num_ranks=2, iterations=1)
+
+    def run(self, ctx):
+        ctx.compute(10)
+        if ctx.rank == 0:
+            ctx.send(1, size=64)
+
+
+class TestTracingVirtualMachine:
+    def test_traces_every_rank(self):
+        trace = TracingVirtualMachine().trace(PingPong())
+        assert trace.num_ranks == 2
+        assert trace.metadata["name"] == "ping-pong"
+        assert trace[0].count(SendRecord) == 3
+        assert trace[1].count(SendRecord) == 3
+
+    def test_other_ranks_idle_do_not_break(self):
+        trace = TracingVirtualMachine().trace(PingPong(num_ranks=4))
+        assert trace.num_ranks == 4
+        assert trace[2].count(SendRecord) == 0
+
+    def test_mips_taken_from_app(self):
+        app = PingPong()
+        app.mips = 2000.0
+        assert TracingVirtualMachine().trace(app).mips == 2000.0
+
+    def test_validation_rejects_broken_model(self):
+        with pytest.raises(MatchingError):
+            TracingVirtualMachine(validate=True).trace(Broken())
+
+    def test_validation_can_be_disabled(self):
+        trace = TracingVirtualMachine(validate=False).trace(Broken())
+        assert trace.num_ranks == 2
+
+    def test_single_rank_rejected(self):
+        class Solo(ApplicationModel):
+            name = "solo"
+
+            def __init__(self):
+                super().__init__(num_ranks=2, iterations=1)
+                self.num_ranks = 1
+
+            def run(self, ctx):
+                ctx.compute(1)
+
+        with pytest.raises(TracingError):
+            TracingVirtualMachine().trace(Solo())

@@ -1,0 +1,80 @@
+"""Unit tests for trace records and their (de)serialisation."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.tracing.records import (
+    AccessEvent,
+    CollectiveRecord,
+    CpuBurst,
+    Record,
+    RecvRecord,
+    SendRecord,
+    WaitRecord,
+)
+
+
+class TestAccessEvent:
+    def test_valid_range(self):
+        event = AccessEvent(burst_index=0, offset=10.0, lo=0.25, hi=0.5)
+        assert event.hi == 0.5
+
+    @pytest.mark.parametrize("lo,hi", [(0.5, 0.5), (0.8, 0.2), (-0.1, 0.5), (0.0, 1.5)])
+    def test_invalid_range_rejected(self, lo, hi):
+        with pytest.raises(TraceFormatError):
+            AccessEvent(burst_index=0, offset=0.0, lo=lo, hi=hi)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(TraceFormatError):
+            AccessEvent(burst_index=0, offset=-1.0, lo=0.0, hi=1.0)
+
+    def test_round_trip(self):
+        event = AccessEvent(burst_index=3, offset=12.5, lo=0.0, hi=0.25)
+        assert AccessEvent.from_dict(event.to_dict()) == event
+
+
+class TestRecordValidation:
+    def test_negative_burst_rejected(self):
+        with pytest.raises(TraceFormatError):
+            CpuBurst(instructions=-5)
+
+    def test_negative_send_size_rejected(self):
+        with pytest.raises(TraceFormatError):
+            SendRecord(dst=1, size=-1)
+
+    def test_negative_recv_src_rejected(self):
+        with pytest.raises(TraceFormatError):
+            RecvRecord(src=-2, size=10)
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(TraceFormatError):
+            CollectiveRecord(operation="allmagic")
+
+    def test_negative_collective_size_rejected(self):
+        with pytest.raises(TraceFormatError):
+            CollectiveRecord(operation="bcast", size=-1)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("record", [
+        CpuBurst(instructions=1234.5),
+        SendRecord(dst=3, size=1024, tag=7, blocking=False, request=2, buffer="b",
+                   pair_seq=4, production=[AccessEvent(0, 1.0, 0.0, 0.5)]),
+        RecvRecord(src=1, size=2048, tag=9, blocking=True, buffer="halo",
+                   pair_seq=1, consumption=[AccessEvent(2, 3.0, 0.5, 1.0)]),
+        WaitRecord(requests=[1, 2, 3]),
+        CollectiveRecord(operation="allreduce", size=8, root=0, comm_size=16),
+    ])
+    def test_round_trip(self, record):
+        rebuilt = Record.from_dict(record.to_dict())
+        assert rebuilt == record
+        assert type(rebuilt) is type(record)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Record.from_dict({"kind": "mystery"})
+
+    def test_kind_discriminators_unique(self):
+        kinds = {CpuBurst.kind, SendRecord.kind, RecvRecord.kind,
+                 WaitRecord.kind, CollectiveRecord.kind}
+        assert len(kinds) == 5

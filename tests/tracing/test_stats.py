@@ -1,0 +1,80 @@
+"""Unit tests for trace statistics."""
+
+import pytest
+
+from repro.core import OverlapStudyEnvironment
+from repro.core.chunking import FixedCountChunking
+from repro.tracing.records import CollectiveRecord, CpuBurst, RecvRecord, SendRecord
+from repro.tracing.stats import expansion_report, profile_rank, profile_trace
+from repro.tracing.trace import RankTrace, Trace
+
+
+def _trace():
+    return Trace(ranks=[
+        RankTrace(rank=0, records=[
+            CpuBurst(instructions=1000.0),
+            SendRecord(dst=1, size=500, tag=0),
+            CpuBurst(instructions=500.0),
+            SendRecord(dst=1, size=300, tag=1),
+            CollectiveRecord(operation="barrier", comm_size=2),
+        ]),
+        RankTrace(rank=1, records=[
+            RecvRecord(src=0, size=500, tag=0),
+            RecvRecord(src=0, size=300, tag=1),
+            CpuBurst(instructions=2000.0),
+            CollectiveRecord(operation="barrier", comm_size=2),
+        ]),
+    ], metadata={"name": "stats"})
+
+
+class TestRankProfile:
+    def test_counts_and_volumes(self):
+        profile = profile_rank(_trace()[0])
+        assert profile.bursts == 2
+        assert profile.instructions == 1500.0
+        assert profile.messages_sent == 2
+        assert profile.bytes_sent == 800
+        assert profile.collectives == 1
+        assert profile.peers == {1: 800}
+
+    def test_means(self):
+        profile = profile_rank(_trace()[0])
+        assert profile.mean_burst_instructions == pytest.approx(750.0)
+        assert profile.mean_message_bytes == pytest.approx(400.0)
+
+    def test_empty_rank(self):
+        profile = profile_rank(RankTrace(rank=0))
+        assert profile.mean_burst_instructions == 0.0
+        assert profile.mean_message_bytes == 0.0
+
+
+class TestTraceProfile:
+    def test_totals(self):
+        profile = profile_trace(_trace())
+        assert profile.total_instructions == 3500.0
+        assert profile.total_messages == 2
+        assert profile.total_bytes == 800
+        assert profile.total_records == 9
+        assert profile.metadata["name"] == "stats"
+
+    def test_communication_matrix(self):
+        matrix = profile_trace(_trace()).communication_matrix()
+        assert matrix[0][1] == 800
+        assert matrix[1][0] == 0
+
+    def test_compute_to_communication_ratio(self):
+        profile = profile_trace(_trace())
+        ratio = profile.compute_to_communication_ratio(mips=1.0, bandwidth_mbps=1.0)
+        # 3500 instructions at 1 MIPS = 3.5 ms; 800 bytes at 1 MB/s = 0.8 ms.
+        assert ratio == pytest.approx(3.5e-3 / 0.8e-3)
+
+
+class TestExpansionReport:
+    def test_overlap_expands_messages_not_bytes(self, small_loop):
+        environment = OverlapStudyEnvironment(chunking=FixedCountChunking(count=4))
+        original = environment.trace(small_loop)
+        overlapped = environment.overlap(original)
+        report = expansion_report(original, overlapped)
+        assert report["bytes_unchanged"]
+        assert report["message_expansion"] == pytest.approx(4.0)
+        assert report["record_expansion"] > 1.0

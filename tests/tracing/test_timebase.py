@@ -1,0 +1,44 @@
+"""Unit tests for the instruction/MIPS time model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tracing.timebase import DEFAULT_MIPS, TimeBase
+
+
+class TestTimeBase:
+    def test_default_mips(self):
+        assert TimeBase().mips == DEFAULT_MIPS
+
+    def test_seconds_conversion(self):
+        base = TimeBase(mips=1000.0)
+        assert base.seconds(1.0e9) == pytest.approx(1.0)
+        assert base.seconds(5.0e6) == pytest.approx(0.005)
+
+    def test_relative_cpu_speed_scales(self):
+        base = TimeBase(mips=1000.0)
+        assert base.seconds(1.0e9, relative_cpu_speed=2.0) == pytest.approx(0.5)
+        assert base.seconds(1.0e9, relative_cpu_speed=0.5) == pytest.approx(2.0)
+
+    def test_round_trip(self):
+        base = TimeBase(mips=1400.0)
+        instructions = 3.7e7
+        assert base.instructions(base.seconds(instructions)) == pytest.approx(instructions)
+
+    def test_invalid_mips_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeBase(mips=0.0)
+        with pytest.raises(ConfigurationError):
+            TimeBase(mips=-10.0)
+
+    def test_negative_inputs_rejected(self):
+        base = TimeBase()
+        with pytest.raises(ConfigurationError):
+            base.seconds(-1.0)
+        with pytest.raises(ConfigurationError):
+            base.instructions(-1.0)
+        with pytest.raises(ConfigurationError):
+            base.seconds(1.0, relative_cpu_speed=0.0)
+
+    def test_zero_instructions_is_zero_time(self):
+        assert TimeBase().seconds(0.0) == 0.0

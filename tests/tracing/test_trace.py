@@ -1,0 +1,96 @@
+"""Unit tests for trace containers and persistence."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.tracing.records import CpuBurst, RecvRecord, SendRecord
+from repro.tracing.trace import RankTrace, Trace
+
+
+def _simple_trace():
+    rank0 = RankTrace(rank=0, records=[
+        CpuBurst(instructions=100.0),
+        SendRecord(dst=1, size=512, tag=1),
+        CpuBurst(instructions=50.0),
+    ])
+    rank1 = RankTrace(rank=1, records=[
+        RecvRecord(src=0, size=512, tag=1),
+        CpuBurst(instructions=150.0),
+    ])
+    return Trace(ranks=[rank0, rank1], mips=1200.0, metadata={"name": "demo"})
+
+
+class TestRankTrace:
+    def test_aggregates(self):
+        trace = _simple_trace()
+        assert trace[0].total_instructions() == 150.0
+        assert trace[0].bytes_sent() == 512
+        assert trace[1].bytes_received() == 512
+        assert trace[0].count(CpuBurst) == 2
+
+    def test_typed_accessors(self):
+        rank0 = _simple_trace()[0]
+        assert len(rank0.sends()) == 1
+        assert len(rank0.bursts()) == 2
+        assert rank0.recvs() == []
+
+    def test_iteration_and_len(self):
+        rank0 = _simple_trace()[0]
+        assert len(rank0) == 3
+        assert len(list(rank0)) == 3
+
+
+class TestTrace:
+    def test_rank_numbering_enforced(self):
+        with pytest.raises(TraceFormatError):
+            Trace(ranks=[RankTrace(rank=1), RankTrace(rank=0)])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trace(ranks=[])
+
+    def test_invalid_mips_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trace(ranks=[RankTrace(rank=0), RankTrace(rank=1)], mips=0)
+
+    def test_aggregates(self):
+        trace = _simple_trace()
+        assert trace.num_ranks == 2
+        assert trace.total_instructions() == 300.0
+        assert trace.total_bytes() == 512
+        assert trace.total_messages() == 1
+
+    def test_describe(self):
+        info = _simple_trace().describe()
+        assert info["name"] == "demo"
+        assert info["num_ranks"] == 2
+        assert info["records"] == 5
+
+    def test_with_metadata_copies(self):
+        trace = _simple_trace()
+        updated = trace.with_metadata(variant="overlapped")
+        assert updated.metadata["variant"] == "overlapped"
+        assert "variant" not in trace.metadata
+
+
+class TestPersistence:
+    def test_round_trip_dict(self):
+        trace = _simple_trace()
+        rebuilt = Trace.from_dict(trace.to_dict())
+        assert rebuilt.num_ranks == trace.num_ranks
+        assert rebuilt.mips == trace.mips
+        assert rebuilt.metadata == trace.metadata
+        assert rebuilt[0].records == trace[0].records
+
+    def test_save_and_load(self, tmp_path):
+        trace = _simple_trace()
+        path = trace.save(tmp_path / "trace.json")
+        loaded = Trace.load(path)
+        assert loaded.total_instructions() == trace.total_instructions()
+        assert loaded[1].records == trace[1].records
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)

@@ -1,0 +1,203 @@
+"""Unit tests for the per-rank tracer (the heart of the tracing tool)."""
+
+import pytest
+
+from repro.errors import TracingError
+from repro.tracing.buffers import Buffer
+from repro.tracing.records import CollectiveRecord, CpuBurst, RecvRecord, SendRecord, WaitRecord
+from repro.tracing.tracer import RankTracer
+
+
+@pytest.fixture
+def tracer():
+    return RankTracer(rank=0, num_ranks=4)
+
+
+class TestBursts:
+    def test_compute_accumulates_into_one_burst(self, tracer):
+        tracer.compute(100)
+        tracer.compute(50)
+        tracer.send(1, size=10)
+        trace = tracer.finalize()
+        bursts = trace.bursts()
+        assert len(bursts) == 1
+        assert bursts[0].instructions == 150
+
+    def test_zero_compute_emits_no_burst(self, tracer):
+        tracer.send(1, size=10)
+        tracer.recv(1, size=10)
+        trace = tracer.finalize()
+        assert trace.count(CpuBurst) == 0
+
+    def test_trailing_burst_emitted_at_finalize(self, tracer):
+        tracer.send(1, size=10)
+        tracer.compute(42)
+        trace = tracer.finalize()
+        assert isinstance(trace.records[-1], CpuBurst)
+        assert trace.records[-1].instructions == 42
+
+    def test_negative_compute_rejected(self, tracer):
+        with pytest.raises(TracingError):
+            tracer.compute(-1)
+
+    def test_total_instructions_preserved(self, tracer):
+        for _ in range(5):
+            tracer.compute(10)
+            tracer.send(1, size=4)
+        assert tracer.finalize().total_instructions() == 50
+
+
+class TestPointToPoint:
+    def test_send_record_fields(self, tracer):
+        tracer.send(2, size=1000, tag=5)
+        record = tracer.finalize().sends()[0]
+        assert record.dst == 2 and record.size == 1000 and record.tag == 5
+        assert record.blocking and record.request is None
+
+    def test_nonblocking_ops_get_unique_requests(self, tracer):
+        first = tracer.send(1, size=10, blocking=False)
+        second = tracer.recv(1, size=10, blocking=False)
+        assert first != second
+        tracer.wait([first, second])
+        trace = tracer.finalize()
+        assert trace.count(WaitRecord) == 1
+
+    def test_pair_seq_increments_per_peer_and_tag(self, tracer):
+        tracer.send(1, size=10, tag=0)
+        tracer.send(1, size=10, tag=0)
+        tracer.send(1, size=10, tag=1)
+        tracer.send(2, size=10, tag=0)
+        sends = tracer.finalize().sends()
+        assert [s.pair_seq for s in sends] == [0, 1, 0, 0]
+
+    def test_self_send_rejected(self, tracer):
+        with pytest.raises(TracingError):
+            tracer.send(0, size=10)
+
+    def test_out_of_range_peer_rejected(self, tracer):
+        with pytest.raises(TracingError):
+            tracer.recv(7, size=10)
+
+    def test_empty_wait_rejected(self, tracer):
+        with pytest.raises(TracingError):
+            tracer.wait([])
+
+
+class TestProductionAnnotations:
+    def test_write_in_preceding_burst_recorded(self, tracer):
+        buffer = Buffer("face", 1000)
+        tracer.compute(100)
+        tracer.write(buffer)
+        tracer.compute(20)
+        tracer.send(1, size=1000, buffer=buffer)
+        send = tracer.finalize().sends()[0]
+        assert len(send.production) == 1
+        event = send.production[0]
+        assert event.offset == pytest.approx(100)
+        assert (event.lo, event.hi) == (0.0, 1.0)
+
+    def test_production_points_at_correct_burst_index(self, tracer):
+        buffer = Buffer("face", 1000)
+        tracer.compute(100)
+        tracer.write(buffer)
+        tracer.send(1, size=4, tag=9)      # closes burst 0 (index 0)
+        tracer.compute(50)                 # burst index 2
+        tracer.send(1, size=1000, buffer=buffer)
+        trace = tracer.finalize()
+        send = trace.sends()[1]
+        assert send.production[0].burst_index == 0
+        assert isinstance(trace.records[0], CpuBurst)
+
+    def test_write_history_reset_after_send(self, tracer):
+        buffer = Buffer("face", 1000)
+        tracer.compute(10)
+        tracer.write(buffer)
+        tracer.send(1, size=1000, buffer=buffer)
+        tracer.compute(10)
+        tracer.send(1, size=1000, buffer=buffer)
+        sends = tracer.finalize().sends()
+        assert len(sends[0].production) == 1
+        assert sends[1].production == []
+
+    def test_partial_writes_keep_ranges(self, tracer):
+        buffer = Buffer("face", 1000)
+        tracer.compute(10)
+        tracer.write(buffer, 0.0, 0.5)
+        tracer.compute(10)
+        tracer.write(buffer, 0.5, 1.0)
+        tracer.send(1, size=1000, buffer=buffer)
+        production = tracer.finalize().sends()[0].production
+        assert [(e.lo, e.hi) for e in production] == [(0.0, 0.5), (0.5, 1.0)]
+        assert production[0].offset < production[1].offset
+
+
+class TestConsumptionAnnotations:
+    def test_read_after_blocking_recv_recorded(self, tracer):
+        buffer = Buffer("halo", 1000)
+        tracer.recv(1, size=1000, buffer=buffer)
+        tracer.compute(30)
+        tracer.read(buffer)
+        tracer.compute(70)
+        tracer.send(1, size=4)
+        recv = tracer.finalize().recvs()[0]
+        assert len(recv.consumption) == 1
+        assert recv.consumption[0].offset == pytest.approx(30)
+
+    def test_consumption_binds_to_first_nonempty_burst(self, tracer):
+        buffer = Buffer("halo", 1000)
+        tracer.recv(1, size=1000, buffer=buffer)
+        tracer.recv(2, size=16)           # empty burst in between: still armed
+        tracer.compute(10)
+        tracer.read(buffer)
+        tracer.compute(10)
+        tracer.barrier = None  # not used; just finalize below
+        trace_record = tracer.finalize().recvs()[0]
+        assert len(trace_record.consumption) == 1
+
+    def test_unread_buffer_has_empty_consumption(self, tracer):
+        buffer = Buffer("halo", 1000)
+        tracer.recv(1, size=1000, buffer=buffer)
+        tracer.compute(100)
+        tracer.send(1, size=4)
+        recv = tracer.finalize().recvs()[0]
+        assert recv.consumption == []
+
+    def test_irecv_consumption_armed_at_wait(self, tracer):
+        buffer = Buffer("halo", 1000)
+        request = tracer.recv(1, size=1000, buffer=buffer, blocking=False)
+        tracer.compute(50)
+        tracer.read(buffer)   # read before the wait: must NOT count
+        tracer.wait([request])
+        tracer.compute(40)
+        tracer.read(buffer)
+        tracer.send(1, size=4)
+        recv = tracer.finalize().recvs()[0]
+        assert len(recv.consumption) == 1
+        assert recv.consumption[0].offset == pytest.approx(40)
+
+
+class TestCollectivesAndLifecycle:
+    def test_collective_record(self, tracer):
+        tracer.collective("allreduce", size=8)
+        record = tracer.finalize().collectives()[0]
+        assert isinstance(record, CollectiveRecord)
+        assert record.comm_size == 4
+
+    def test_finalize_twice_rejected(self, tracer):
+        tracer.finalize()
+        with pytest.raises(TracingError):
+            tracer.finalize()
+        with pytest.raises(TracingError):
+            tracer.compute(1)
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(TracingError):
+            RankTracer(rank=5, num_ranks=4)
+
+    def test_record_order_preserved(self, tracer):
+        tracer.compute(10)
+        tracer.send(1, size=5)
+        tracer.recv(1, size=5)
+        tracer.collective("barrier")
+        kinds = [type(r) for r in tracer.finalize().records]
+        assert kinds == [CpuBurst, SendRecord, RecvRecord, CollectiveRecord]
