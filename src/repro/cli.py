@@ -58,6 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the side-by-side ASCII Gantt comparison")
     study.add_argument("--mechanism", default="full",
                        choices=["full", "early-send", "late-receive"])
+    _add_jobs_argument(study)
 
     sweep = subparsers.add_parser(
         "sweep", help="speedup-versus-bandwidth sweep for one application")
@@ -69,6 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="highest bandwidth of the sweep (MB/s)")
     sweep.add_argument("--samples", type=int, default=9,
                        help="number of (log-spaced) bandwidth samples")
+    _add_jobs_argument(sweep)
 
     simulate = subparsers.add_parser(
         "simulate", help="replay a previously saved trace file")
@@ -95,6 +97,13 @@ def _add_app_arguments(parser: argparse.ArgumentParser) -> None:
                         help="chunk size of the overlap transformation (bytes)")
     parser.add_argument("--chunk-count", type=int, default=None,
                         help="use a fixed chunk count instead of a fixed chunk size")
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the replays "
+                             "(1 = serial, 0 = all cores); results are "
+                             "identical to the serial run")
 
 
 def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
@@ -172,7 +181,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
     environment = _make_environment(args)
     app = _make_app(args)
     study = environment.study(
-        app, mechanism=OverlapMechanism.from_label(args.mechanism))
+        app, mechanism=OverlapMechanism.from_label(args.mechanism),
+        jobs=args.jobs)
     print(study.summary())
     if args.gantt:
         print()
@@ -185,9 +195,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     app = _make_app(args)
     bandwidths = geometric_bandwidths(args.min_bandwidth, args.max_bandwidth,
                                       args.samples)
-    sweep = run_bandwidth_sweep(app, bandwidths, environment=environment)
+    sweep = run_bandwidth_sweep(app, bandwidths, environment=environment,
+                                jobs=args.jobs)
     print(sweep_table(sweep))
     print()
+    wall = sweep.metadata.get("replay_wall_seconds")
+    if wall is not None:
+        print(f"replayed {len(sweep.points) * len(sweep.variants)} tasks "
+              f"with {sweep.metadata.get('jobs', 1)} worker(s) "
+              f"in {wall:.2f} s")
     factor = sweep.bandwidth_reduction_factor("ideal")
     peak_bandwidth, peak = sweep.peak_speedup("ideal")
     print(f"peak ideal-pattern speedup: {peak:.3f}x at {peak_bandwidth:.1f} MB/s")

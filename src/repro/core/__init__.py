@@ -12,6 +12,8 @@
   replay and visualisation together (paper Figure 1);
 * :mod:`repro.core.analysis`    -- speedups, bandwidth sweeps, bandwidth
   reduction factors and the Sancho analytical model;
+* :mod:`repro.core.executor`    -- expansion of sweeps into self-contained
+  replay tasks and their (optionally multi-process) execution;
 * :mod:`repro.core.sweeps`      -- parameter-sweep drivers;
 * :mod:`repro.core.study`       -- one-stop study objects and reports.
 """
@@ -25,11 +27,12 @@ from repro.core.analysis import (
 )
 from repro.core.chunking import Chunk, ChunkingPolicy, FixedCountChunking, FixedSizeChunking
 from repro.core.environment import OverlapStudyEnvironment
+from repro.core.executor import SweepExecutor, SweepTask, SweepTaskResult
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.overlap import OverlapTransformer
 from repro.core.patterns import ComputationPattern
-from repro.core.study import OverlapStudy
-from repro.core.sweeps import run_bandwidth_sweep
+from repro.core.study import OverlapStudy, run_batch_study
+from repro.core.sweeps import run_bandwidth_sweep, run_mechanism_sweep
 
 __all__ = [
     "BandwidthSweep",
@@ -42,9 +45,14 @@ __all__ = [
     "OverlapStudy",
     "OverlapStudyEnvironment",
     "OverlapTransformer",
+    "SweepExecutor",
     "SweepPoint",
+    "SweepTask",
+    "SweepTaskResult",
     "bandwidth_reduction_factor",
     "run_bandwidth_sweep",
+    "run_batch_study",
+    "run_mechanism_sweep",
     "sancho_overlap_bound",
     "speedup",
 ]

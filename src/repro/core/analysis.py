@@ -56,6 +56,17 @@ class SweepPoint:
     times: Dict[str, float]
     original_communication_fraction: float = 0.0
     original_compute_time: float = 0.0
+    #: Wall-clock seconds each variant's replay task took (``{}`` when the
+    #: sweep was produced without the executor's timing instrumentation).
+    task_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def replay_seconds(self) -> float:
+        """Summed task time spent replaying this point's variants.
+
+        Tasks may run concurrently on a worker pool, so this can exceed the
+        point's contribution to the sweep's elapsed wall time.
+        """
+        return sum(self.task_seconds.values())
 
     def time(self, variant: str) -> float:
         try:

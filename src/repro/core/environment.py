@@ -12,7 +12,7 @@ The environment connects the three stages of the paper's tool chain:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, TYPE_CHECKING
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro.core.chunking import ChunkingPolicy, FixedSizeChunking
 from repro.core.mechanisms import OverlapMechanism
@@ -69,25 +69,16 @@ class OverlapStudyEnvironment:
               platform: Optional[Platform] = None,
               patterns: Iterable[ComputationPattern] = (
                   ComputationPattern.REAL, ComputationPattern.IDEAL),
-              mechanism: OverlapMechanism = OverlapMechanism.FULL) -> OverlapStudy:
-        """Trace, transform and replay ``app``; return the assembled study."""
-        platform = platform or self.platform
-        original_trace = self.trace(app)
-        original_result = self.simulate(original_trace, platform=platform,
-                                        label=f"{app.name}:original")
-        overlapped_traces: Dict[str, Trace] = {}
-        overlapped_results: Dict[str, SimulationResult] = {}
-        for pattern in patterns:
-            overlapped = self.overlap(original_trace, pattern=pattern,
-                                      mechanism=mechanism)
-            overlapped_traces[pattern.value] = overlapped
-            overlapped_results[pattern.value] = self.simulate(
-                overlapped, platform=platform, label=f"{app.name}:{pattern.value}")
-        return OverlapStudy(
-            app_name=app.name,
-            platform=platform,
-            mechanism=mechanism,
-            original_trace=original_trace,
-            original_result=original_result,
-            overlapped_traces=overlapped_traces,
-            overlapped_results=overlapped_results)
+              mechanism: OverlapMechanism = OverlapMechanism.FULL,
+              jobs: Optional[int] = None) -> OverlapStudy:
+        """Trace, transform and replay ``app``; return the assembled study.
+
+        A thin wrapper over :func:`repro.core.study.run_batch_study` for a
+        single application, so every study entry point shares one pipeline
+        (including variant-label validation and the ``jobs`` worker pool).
+        """
+        from repro.core.study import run_batch_study
+        return run_batch_study(
+            [app], patterns=patterns, mechanism=mechanism,
+            environment=self, platform=platform or self.platform,
+            jobs=jobs)[app.name]

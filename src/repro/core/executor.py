@@ -1,0 +1,268 @@
+"""Parallel sweep execution.
+
+The paper's methodology is embarrassingly parallel: one traced run is
+replayed on many configurable platforms (bandwidths x patterns x mechanisms
+x applications), and every replay is independent of the others.  The
+:class:`SweepExecutor` exploits that:
+
+1. a sweep is *expanded* into self-contained :class:`SweepTask` units, one
+   per (trace variant, platform point) pair;
+2. the tasks are *executed* either serially in-process (``jobs=1``, the
+   default, so a plain sweep stays deterministic and dependency-free) or
+   fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+3. the per-task results are *merged* back deterministically, grouped by
+   platform point and sorted in bandwidth order, so a parallel sweep is
+   bit-identical to the serial one.
+
+Variant traces are transformed once in the parent process, serialised once
+(:meth:`Trace.to_dict`) and shipped to every worker at pool start-up via the
+pool initializer; each worker deserialises a variant at most once and caches
+the :class:`Trace` for all the tasks it runs.  Tasks therefore only carry a
+key into the variant table, which keeps the per-task pickling cost constant
+regardless of the trace size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.analysis import ORIGINAL, SweepPoint
+from repro.dimemas.platform import Platform
+from repro.dimemas.results import SimulationResult
+from repro.dimemas.simulator import DimemasSimulator
+from repro.errors import AnalysisError, ConfigurationError
+from repro.tracing.trace import Trace
+
+
+def validate_variant_labels(labels: Iterable[str]) -> List[str]:
+    """Reject duplicate variant labels and collisions with ``original``.
+
+    Both sweep drivers key their variant traces by label; a duplicate label
+    (or a label equal to the reserved :data:`ORIGINAL`) would silently
+    clobber an earlier variant and corrupt the sweep.
+    """
+    seen: List[str] = []
+    for label in labels:
+        if label == ORIGINAL:
+            raise AnalysisError(
+                f"variant label {label!r} collides with the reserved "
+                f"label of the non-overlapped execution")
+        if label in seen:
+            raise AnalysisError(f"duplicate variant label {label!r} in sweep")
+        seen.append(label)
+    return seen
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One self-contained replay unit: one trace variant on one platform.
+
+    ``point`` is the ordinal of the platform point within the sweep grid;
+    :meth:`SweepExecutor.merge` groups by it, so two grid points that happen
+    to share a bandwidth value stay separate sweep rows.
+    """
+
+    index: int
+    variant: str
+    trace_key: str
+    platform: Platform
+    label: str
+    point: int = 0
+
+
+@dataclass(frozen=True)
+class SweepTaskResult:
+    """Scalar metrics of one replayed task (cheap to ship across processes)."""
+
+    index: int
+    variant: str
+    bandwidth_mbps: float
+    total_time: float
+    communication_fraction: float
+    max_compute_time: float
+    elapsed_seconds: float
+    worker_pid: int
+    point: int = 0
+
+
+# -- task execution (both sides) ----------------------------------------------
+
+def _replay(task: SweepTask, trace: Trace,
+            simulator: Optional[DimemasSimulator]) -> SimulationResult:
+    """Replay one task, honouring a custom simulator when one is supplied."""
+    simulator = simulator or DimemasSimulator(task.platform)
+    return simulator.simulate(trace, platform=task.platform, label=task.label)
+
+
+def _metrics(task: SweepTask, trace: Trace,
+             simulator: Optional[DimemasSimulator]) -> SweepTaskResult:
+    start = time.perf_counter()
+    result = _replay(task, trace, simulator)
+    return SweepTaskResult(
+        index=task.index,
+        variant=task.variant,
+        bandwidth_mbps=task.platform.bandwidth_mbps,
+        total_time=result.total_time,
+        communication_fraction=result.communication_fraction(),
+        max_compute_time=result.max_compute_time(),
+        elapsed_seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+        point=task.point)
+
+
+def _lookup_trace(traces: Dict[str, Any], key: str) -> Any:
+    try:
+        return traces[key]
+    except KeyError:
+        raise AnalysisError(
+            f"task references unknown trace variant {key!r}") from None
+
+
+# -- worker side --------------------------------------------------------------
+# The serialised variant table (and the optional custom simulator) is
+# installed once per worker process through the pool initializer, so it is
+# pickled once per worker rather than once per task; tasks reference it by
+# key, and each worker deserialises a variant at most once.  The serial path
+# never touches these globals, so in-process execution is reentrant.
+
+_TRACE_TABLE: Dict[str, Dict[str, Any]] = {}
+_TRACE_CACHE: Dict[str, Trace] = {}
+_SIMULATOR: Optional[DimemasSimulator] = None
+
+
+def _init_worker(table: Dict[str, Dict[str, Any]],
+                 simulator: Optional[DimemasSimulator] = None) -> None:
+    global _TRACE_TABLE, _TRACE_CACHE, _SIMULATOR
+    _TRACE_TABLE = table
+    _TRACE_CACHE = {}
+    _SIMULATOR = simulator
+
+
+def _worker_trace(key: str) -> Trace:
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        serialized = _lookup_trace(_TRACE_TABLE, key)
+        trace = Trace.from_dict(serialized)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def _run_task_full(task: SweepTask) -> SimulationResult:
+    return _replay(task, _worker_trace(task.trace_key), _SIMULATOR)
+
+
+def _run_task_metrics(task: SweepTask) -> SweepTaskResult:
+    return _metrics(task, _worker_trace(task.trace_key), _SIMULATOR)
+
+
+class SweepExecutor:
+    """Executes sweep tasks serially or on a multi-process worker pool.
+
+    ``jobs=1`` (the default) replays every task in-process, preserving the
+    behaviour of the original serial drivers; ``jobs=N`` fans the tasks out
+    over ``N`` worker processes; ``jobs=0`` uses every available core.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is None:
+            jobs = 1
+        elif jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError(
+                f"jobs must be >= 1 (or 0 for all cores), got {jobs!r}")
+        self.jobs = int(jobs)
+
+    # -- expansion ---------------------------------------------------------
+    @staticmethod
+    def expand(variants: Dict[str, Trace], platforms: Sequence[Platform],
+               app_name: str = "trace") -> List[SweepTask]:
+        """Expand a variant x platform grid into self-contained tasks."""
+        tasks: List[SweepTask] = []
+        for point, platform in enumerate(platforms):
+            for variant in variants:
+                tasks.append(SweepTask(
+                    index=len(tasks),
+                    variant=variant,
+                    trace_key=variant,
+                    platform=platform,
+                    label=f"{app_name}:{variant}@{platform.bandwidth_mbps}MBps",
+                    point=point))
+        return tasks
+
+    # -- execution ---------------------------------------------------------
+    def execute(self, tasks: Sequence[SweepTask], traces: Dict[str, Trace],
+                full_results: bool = False,
+                simulator: Optional[DimemasSimulator] = None
+                ) -> Union[List[SweepTaskResult], List[SimulationResult]]:
+        """Run every task and return the results in task order.
+
+        With ``full_results`` the workers ship back whole
+        :class:`SimulationResult` objects (timelines included) instead of the
+        scalar :class:`SweepTaskResult` metrics; batch studies need the
+        former, bandwidth sweeps only the latter.  ``simulator`` replays the
+        tasks through a caller-supplied (picklable) simulator instead of a
+        fresh :class:`DimemasSimulator` per task.
+        """
+        if self.jobs == 1 or len(tasks) <= 1:
+            run = _replay if full_results else _metrics
+            return [run(task, _lookup_trace(traces, task.trace_key), simulator)
+                    for task in tasks]
+        worker = _run_task_full if full_results else _run_task_metrics
+        table = {key: trace.to_dict() for key, trace in traces.items()}
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
+                                 initializer=_init_worker,
+                                 initargs=(table, simulator)) as pool:
+            return list(pool.map(worker, tasks))
+
+    # -- merging -----------------------------------------------------------
+    @staticmethod
+    def merge(results: Sequence[SweepTaskResult]) -> List[SweepPoint]:
+        """Merge task metrics into sweep points, sorted in bandwidth order.
+
+        Results are grouped by their grid-point ordinal (so duplicate
+        bandwidth values stay separate rows) and the grouping only depends
+        on task metadata, never on completion order, so serial and parallel
+        executions merge identically.
+        """
+        grouped: Dict[int, List[SweepTaskResult]] = {}
+        for result in sorted(results, key=lambda r: r.index):
+            grouped.setdefault(result.point, []).append(result)
+        points: List[SweepPoint] = []
+        for group in grouped.values():
+            original = next((r for r in group if r.variant == ORIGINAL), None)
+            points.append(SweepPoint(
+                bandwidth_mbps=group[0].bandwidth_mbps,
+                times={r.variant: r.total_time for r in group},
+                original_communication_fraction=(
+                    original.communication_fraction if original else 0.0),
+                original_compute_time=(
+                    original.max_compute_time if original else 0.0),
+                task_seconds={r.variant: r.elapsed_seconds for r in group}))
+        points.sort(key=lambda point: point.bandwidth_mbps)
+        return points
+
+    # -- convenience -------------------------------------------------------
+    def run_sweep(self, variants: Dict[str, Trace], base_platform: Platform,
+                  bandwidths_mbps: Sequence[float], app_name: str = "trace",
+                  simulator: Optional[DimemasSimulator] = None
+                  ) -> Tuple[List[SweepPoint], float]:
+        """Replay every variant at every bandwidth and merge the results.
+
+        Returns the bandwidth-ordered sweep points plus the wall-clock time
+        of the replay section (the part the worker pool accelerates).
+        """
+        if ORIGINAL not in variants:
+            raise AnalysisError(
+                f"sweep variants must include the {ORIGINAL!r} trace")
+        platforms = [base_platform.with_bandwidth(bandwidth)
+                     for bandwidth in bandwidths_mbps]
+        tasks = self.expand(variants, platforms, app_name=app_name)
+        start = time.perf_counter()
+        results = self.execute(tasks, variants, simulator=simulator)
+        wall_seconds = time.perf_counter() - start
+        return self.merge(results), wall_seconds

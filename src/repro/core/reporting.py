@@ -36,17 +36,35 @@ def _cell(value: object) -> str:
     return str(value)
 
 
-def sweep_table(sweep: BandwidthSweep, variants: Optional[Sequence[str]] = None) -> str:
-    """Speedup-vs-bandwidth table for one application."""
+def sweep_table(sweep: BandwidthSweep, variants: Optional[Sequence[str]] = None,
+                show_timing: Optional[bool] = None) -> str:
+    """Speedup-vs-bandwidth table for one application.
+
+    When the sweep was produced by the task executor, every point carries the
+    time its replay tasks took; the per-point sum shows up as a trailing
+    "replay task time (s)" column (``show_timing`` forces the column on or
+    off).  Tasks of one point may run concurrently, so the column can exceed
+    the elapsed wall time of a parallel sweep.
+    """
     variants = list(variants or [v for v in sweep.variants if v != ORIGINAL])
+    if show_timing is None:
+        show_timing = any(point.task_seconds for point in sweep.points)
     headers = ["bandwidth (MB/s)", "original time (s)"] + [
         f"speedup ({variant})" for variant in variants]
+    if show_timing:
+        headers.append("replay task time (s)")
     rows = []
     for point in sweep.points:
         row: List[object] = [point.bandwidth_mbps, point.time(ORIGINAL)]
         row.extend(point.speedup(variant) for variant in variants)
+        if show_timing:
+            row.append(point.replay_seconds())
         rows.append(row)
-    return format_table(headers, rows, title=f"bandwidth sweep: {sweep.app_name}")
+    title = f"bandwidth sweep: {sweep.app_name}"
+    jobs = sweep.metadata.get("jobs")
+    if jobs and jobs > 1:
+        title += f" ({jobs} workers)"
+    return format_table(headers, rows, title=title)
 
 
 def peak_speedup_table(sweeps: Dict[str, BandwidthSweep], variant: str = "ideal",

@@ -5,13 +5,19 @@ computation pattern, and replays every variant across the requested
 bandwidths.  That mirrors the paper's methodology: a single real run feeds
 the tracer, and Dimemas replays the resulting traces on many configurable
 platforms.
+
+The replays themselves are independent, so both drivers hand the expanded
+(variant x bandwidth) grid to a :class:`repro.core.executor.SweepExecutor`,
+which runs it serially by default or on ``jobs`` worker processes with
+bit-identical results.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence, TYPE_CHECKING
 
-from repro.core.analysis import ORIGINAL, BandwidthSweep, SweepPoint
+from repro.core.analysis import ORIGINAL, BandwidthSweep
+from repro.core.executor import SweepExecutor, validate_variant_labels
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.patterns import ComputationPattern
 from repro.dimemas.platform import Platform
@@ -28,17 +34,21 @@ def run_bandwidth_sweep(app: "ApplicationModel",
                             ComputationPattern.REAL, ComputationPattern.IDEAL),
                         mechanism: OverlapMechanism = OverlapMechanism.FULL,
                         environment: Optional["OverlapStudyEnvironment"] = None,
-                        platform: Optional[Platform] = None) -> BandwidthSweep:
+                        platform: Optional[Platform] = None,
+                        jobs: Optional[int] = None) -> BandwidthSweep:
     """Sweep the network bandwidth for one application.
 
     Returns a :class:`BandwidthSweep` whose variants are ``original`` plus
-    one entry per requested pattern (labelled by the pattern value).
+    one entry per requested pattern (labelled by the pattern value).  With
+    ``jobs`` > 1 the replays run on a worker pool; the result is identical
+    to the serial sweep.
     """
     from repro.core.environment import OverlapStudyEnvironment
 
     environment = environment or OverlapStudyEnvironment(platform=platform)
     base_platform = platform or environment.platform
     patterns = list(patterns)
+    validate_variant_labels(pattern.value for pattern in patterns)
 
     original = environment.trace(app)
     variants: Dict[str, Trace] = {ORIGINAL: original}
@@ -46,32 +56,22 @@ def run_bandwidth_sweep(app: "ApplicationModel",
         variants[pattern.value] = environment.overlap(
             original, pattern=pattern, mechanism=mechanism)
 
-    sweep = BandwidthSweep(
+    executor = SweepExecutor(jobs=jobs)
+    points, wall_seconds = executor.run_sweep(
+        variants, base_platform, bandwidths_mbps, app_name=app.name,
+        simulator=environment.simulator)
+    return BandwidthSweep(
         app_name=app.name,
         variants=list(variants),
+        points=points,
         metadata={
             "mechanism": mechanism.label,
             "chunking": environment.chunking.describe(),
             "num_ranks": app.num_ranks,
             "platform": base_platform.name,
+            "jobs": executor.jobs,
+            "replay_wall_seconds": wall_seconds,
         })
-    for bandwidth in bandwidths_mbps:
-        point_platform = base_platform.with_bandwidth(bandwidth)
-        times: Dict[str, float] = {}
-        original_result = None
-        for label, trace in variants.items():
-            result = environment.simulate(trace, platform=point_platform,
-                                          label=f"{app.name}:{label}@{bandwidth}MBps")
-            times[label] = result.total_time
-            if label == ORIGINAL:
-                original_result = result
-        sweep.points.append(SweepPoint(
-            bandwidth_mbps=bandwidth,
-            times=times,
-            original_communication_fraction=original_result.communication_fraction(),
-            original_compute_time=original_result.max_compute_time()))
-    sweep.points.sort(key=lambda point: point.bandwidth_mbps)
-    return sweep
 
 
 def run_mechanism_sweep(app: "ApplicationModel",
@@ -82,7 +82,8 @@ def run_mechanism_sweep(app: "ApplicationModel",
                             OverlapMechanism.LATE_RECEIVE,
                             OverlapMechanism.FULL),
                         environment: Optional["OverlapStudyEnvironment"] = None,
-                        platform: Optional[Platform] = None) -> Dict[str, float]:
+                        platform: Optional[Platform] = None,
+                        jobs: Optional[int] = None) -> Dict[str, float]:
     """Speedup of each overlapping mechanism at a fixed bandwidth.
 
     Returns a mapping ``mechanism label -> speedup over the original``.
@@ -91,16 +92,19 @@ def run_mechanism_sweep(app: "ApplicationModel",
 
     environment = environment or OverlapStudyEnvironment(platform=platform)
     base_platform = (platform or environment.platform).with_bandwidth(bandwidth_mbps)
+    labels = validate_variant_labels(
+        mechanism.label for mechanism in mechanisms)
 
     original = environment.trace(app)
-    original_time = environment.simulate(
-        original, platform=base_platform, label=f"{app.name}:original").total_time
+    variants: Dict[str, Trace] = {ORIGINAL: original}
+    for mechanism, label in zip(mechanisms, labels):
+        variants[label] = environment.overlap(
+            original, pattern=pattern, mechanism=mechanism)
 
-    speedups: Dict[str, float] = {}
-    for mechanism in mechanisms:
-        overlapped = environment.overlap(original, pattern=pattern, mechanism=mechanism)
-        result = environment.simulate(
-            overlapped, platform=base_platform,
-            label=f"{app.name}:{mechanism.label}")
-        speedups[mechanism.label] = original_time / result.total_time
-    return speedups
+    executor = SweepExecutor(jobs=jobs)
+    tasks = executor.expand(variants, [base_platform], app_name=app.name)
+    results = executor.execute(tasks, variants,
+                               simulator=environment.simulator)
+    times = {result.variant: result.total_time for result in results}
+    original_time = times[ORIGINAL]
+    return {label: original_time / times[label] for label in labels}

@@ -88,20 +88,26 @@ class NetworkFabric:
         intranode = src_node == dst_node
         requested_at = self.env.now
         requests = []
-        if not intranode:
-            # Acquire in a fixed global order (output link, input link, bus)
-            # so transfers never hold resources in conflicting orders.
-            for resource in (self._output_link(src_node),
-                             self._input_link(dst_node), self._buses):
-                request = resource.request()
-                yield request
-                requests.append((resource, request))
-        message.transfer_start = self.env.now
-        queue_time = self.env.now - requested_at
-        duration = platform.transfer_time(message.size, intranode=intranode)
-        yield self.env.timeout(duration)
-        for resource, request in requests:
-            resource.release(request)
+        try:
+            if not intranode:
+                # Acquire in a fixed global order (output link, input link, bus)
+                # so transfers never hold resources in conflicting orders.
+                for resource in (self._output_link(src_node),
+                                 self._input_link(dst_node), self._buses):
+                    request = resource.request()
+                    requests.append((resource, request))
+                    yield request
+            message.transfer_start = self.env.now
+            queue_time = self.env.now - requested_at
+            duration = platform.transfer_time(message.size, intranode=intranode)
+            yield self.env.timeout(duration)
+        finally:
+            # A failed or interrupted transfer must return its capacity;
+            # leaking a link or bus slot deadlocks every later transfer
+            # through the same resource.  Releasing a still-queued request
+            # simply withdraws it.
+            for resource, request in requests:
+                resource.release(request)
         message.arrival_time = self.env.now
         message.arrived.succeed(self.env.now)
         self.statistics.record(message.size, queue_time, duration, intranode)

@@ -65,6 +65,12 @@ class CollectiveCoordinator:
                 f"collective {index}: rank {rank} entered {record.operation!r} "
                 f"while others entered {instance.operation!r}")
         instance.count += 1
+        if instance.count > self.num_ranks:
+            raise SimulationError(
+                f"collective {index}: {instance.count} entries for "
+                f"{self.num_ranks} ranks (rank {rank} entered "
+                f"{record.operation!r} after the collective already "
+                f"completed; the traces have mismatched collective counts)")
         instance.max_size = max(instance.max_size, record.size)
         if instance.count == self.num_ranks:
             duration = collective_duration(

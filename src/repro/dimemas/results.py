@@ -66,7 +66,7 @@ class SimulationResult:
         return sum(r.communication_time for r in self.ranks)
 
     def max_compute_time(self) -> float:
-        return max(r.compute_time for r in self.ranks)
+        return max((r.compute_time for r in self.ranks), default=0.0)
 
     def parallel_efficiency(self) -> float:
         """Average fraction of the execution the ranks spend computing."""

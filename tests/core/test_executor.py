@@ -1,0 +1,198 @@
+"""Tests for the parallel sweep executor.
+
+The key invariant: a parallel execution (``jobs`` > 1) produces results
+bit-identical to the serial one, because every replay task is independent
+and the merge step only depends on task metadata, never on completion order.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import NasCG
+from repro.core import OverlapStudyEnvironment, FixedCountChunking
+from repro.core.analysis import ORIGINAL
+from repro.core.executor import (
+    SweepExecutor,
+    SweepTask,
+    SweepTaskResult,
+    validate_variant_labels,
+)
+from repro.core.study import run_batch_study
+from repro.core.sweeps import run_bandwidth_sweep, run_mechanism_sweep
+from repro.dimemas.simulator import DimemasSimulator
+from repro.errors import AnalysisError, ConfigurationError
+
+BANDWIDTHS = [10.0, 100.0, 1000.0]
+
+
+@pytest.fixture
+def small_cg():
+    return NasCG(num_ranks=4, iterations=2)
+
+
+def _sweep_fingerprint(sweep):
+    """Everything a sweep computed, for exact serial/parallel comparison."""
+    return (
+        sweep.app_name,
+        sweep.variants,
+        [p.bandwidth_mbps for p in sweep.points],
+        [p.times for p in sweep.points],
+        [p.original_communication_fraction for p in sweep.points],
+        [p.original_compute_time for p in sweep.points],
+    )
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("app_fixture", ["small_bt", "small_cg"])
+    def test_bandwidth_sweep_bit_identical(self, app_fixture, request, environment):
+        app = request.getfixturevalue(app_fixture)
+        serial = run_bandwidth_sweep(app, BANDWIDTHS, environment=environment)
+        parallel = run_bandwidth_sweep(app, BANDWIDTHS, environment=environment,
+                                       jobs=4)
+        assert _sweep_fingerprint(serial) == _sweep_fingerprint(parallel)
+        assert parallel.metadata["jobs"] == 4
+
+    def test_mechanism_sweep_bit_identical(self, small_bt, environment):
+        serial = run_mechanism_sweep(small_bt, 100.0, environment=environment)
+        parallel = run_mechanism_sweep(small_bt, 100.0, environment=environment,
+                                       jobs=2)
+        assert serial == parallel
+
+    def test_batch_study_matches_environment_study(self, small_bt, environment):
+        reference = environment.study(small_bt)
+        for jobs in (1, 2):
+            study = run_batch_study([small_bt], environment=environment,
+                                    jobs=jobs)[small_bt.name]
+            assert study.original_result.total_time == \
+                reference.original_result.total_time
+            for pattern in reference.patterns():
+                assert study.result(pattern).total_time == \
+                    reference.result(pattern).total_time
+            # Full results came back: the study can render its timelines.
+            assert study.summary()
+            assert study.gantt("ideal")
+
+    def test_batch_study_many_apps(self, small_bt, small_cg, environment):
+        serial = run_batch_study([small_bt, small_cg], environment=environment)
+        parallel = run_batch_study([small_bt, small_cg], environment=environment,
+                                   jobs=3)
+        assert sorted(serial) == sorted([small_bt.name, small_cg.name])
+        for name, study in serial.items():
+            other = parallel[name]
+            assert study.original_result.total_time == \
+                other.original_result.total_time
+            assert study.speedup("ideal") == other.speedup("ideal")
+
+
+class TestExecutor:
+    def test_jobs_validation(self):
+        assert SweepExecutor().jobs == 1
+        assert SweepExecutor(jobs=3).jobs == 3
+        assert SweepExecutor(jobs=0).jobs >= 1
+        with pytest.raises(ConfigurationError):
+            SweepExecutor(jobs=-1)
+
+    def test_expand_covers_the_grid(self, environment, small_bt, platform):
+        trace = environment.trace(small_bt)
+        variants = {ORIGINAL: trace, "ideal": environment.overlap(trace)}
+        platforms = [platform.with_bandwidth(b) for b in BANDWIDTHS]
+        tasks = SweepExecutor.expand(variants, platforms, app_name="bt")
+        assert len(tasks) == len(variants) * len(platforms)
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+        assert {(t.variant, t.platform.bandwidth_mbps) for t in tasks} == {
+            (v, b) for v in variants for b in BANDWIDTHS}
+
+    def test_run_sweep_requires_original(self, environment, small_bt, platform):
+        trace = environment.trace(small_bt)
+        with pytest.raises(AnalysisError):
+            SweepExecutor().run_sweep({"ideal": trace}, platform, BANDWIDTHS)
+
+    def test_unknown_trace_key_is_reported(self, environment, small_bt, platform):
+        trace = environment.trace(small_bt)
+        task = SweepTask(index=0, variant=ORIGINAL, trace_key="missing",
+                         platform=platform, label="x")
+        with pytest.raises(AnalysisError):
+            SweepExecutor().execute([task], {ORIGINAL: trace})
+
+    def test_merge_is_order_independent(self):
+        results = []
+        index = 0
+        for point, bandwidth in enumerate(BANDWIDTHS):
+            for variant in (ORIGINAL, "ideal"):
+                results.append(SweepTaskResult(
+                    index=index, variant=variant, bandwidth_mbps=bandwidth,
+                    total_time=1.0 / (index + 1),
+                    communication_fraction=0.5, max_compute_time=0.2,
+                    elapsed_seconds=0.01, worker_pid=0, point=point))
+                index += 1
+        shuffled = list(results)
+        random.Random(7).shuffle(shuffled)
+        assert SweepExecutor.merge(results) == SweepExecutor.merge(shuffled)
+
+    def test_duplicate_bandwidths_stay_separate_points(self, small_bt, environment):
+        # A degenerate grid (min == max) must keep one row per requested
+        # point; grouping is by grid ordinal, not by bandwidth value.
+        sweep = run_bandwidth_sweep(small_bt, [100.0, 100.0, 100.0],
+                                    environment=environment)
+        assert len(sweep.points) == 3
+        assert [p.bandwidth_mbps for p in sweep.points] == [100.0] * 3
+        assert sweep.points[0].times == sweep.points[1].times == sweep.points[2].times
+
+    def test_points_carry_task_timings(self, small_bt, environment):
+        sweep = run_bandwidth_sweep(small_bt, BANDWIDTHS, environment=environment)
+        for point in sweep.points:
+            assert set(point.task_seconds) == set(sweep.variants)
+            assert point.replay_seconds() > 0.0
+        assert sweep.metadata["replay_wall_seconds"] > 0.0
+
+
+class _TaggingSimulator(DimemasSimulator):
+    """A custom simulator whose results are recognisable in sweep output."""
+
+    def simulate(self, trace, platform=None, label=None):
+        result = super().simulate(trace, platform=platform, label=label)
+        result.metadata["simulated_by"] = "tagging"
+        return result
+
+
+class TestEnvironmentSimulatorIsHonoured:
+    def test_study_routes_through_the_environment_simulator(
+            self, small_bt, environment):
+        environment.simulator = _TaggingSimulator(environment.platform)
+        study = environment.study(small_bt)
+        assert study.original_result.metadata["simulated_by"] == "tagging"
+        assert study.result("ideal").metadata["simulated_by"] == "tagging"
+
+
+class TestSerialReentrancy:
+    def test_serial_execution_ignores_worker_globals(
+            self, small_bt, environment, platform):
+        # The worker-side module globals belong to pool workers only; a
+        # serial run must neither read nor clobber them, so concurrent
+        # in-process executions cannot interfere.
+        from repro.core import executor as executor_module
+
+        executor_module._init_worker({ORIGINAL: {"bogus": "table"}})
+        try:
+            trace = environment.trace(small_bt)
+            results = SweepExecutor().execute(
+                SweepExecutor.expand({ORIGINAL: trace}, [platform]),
+                {ORIGINAL: trace})
+            assert results[0].total_time > 0
+            assert executor_module._TRACE_TABLE == {ORIGINAL: {"bogus": "table"}}
+        finally:
+            executor_module._init_worker({})
+
+
+class TestLabelValidation:
+    def test_accepts_distinct_labels(self):
+        assert validate_variant_labels(["real", "ideal"]) == ["real", "ideal"]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(AnalysisError):
+            validate_variant_labels(["ideal", "ideal"])
+
+    def test_rejects_the_reserved_label(self):
+        with pytest.raises(AnalysisError):
+            validate_variant_labels(["real", ORIGINAL])

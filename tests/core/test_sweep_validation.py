@@ -1,0 +1,50 @@
+"""Regression tests: sweeps must reject variant-label collisions.
+
+Previously a duplicate pattern (or a label colliding with ``original``)
+silently overwrote an earlier variant's trace in the sweep dictionary; the
+sweep then reported numbers for the wrong trace without any error.
+"""
+
+import pytest
+
+from repro.core import ComputationPattern, OverlapMechanism
+from repro.core.sweeps import run_bandwidth_sweep, run_mechanism_sweep
+from repro.errors import AnalysisError
+
+
+class _FakePattern:
+    """A pattern-like object whose label collides with the original variant."""
+
+    value = "original"
+
+
+class TestBandwidthSweepValidation:
+    def test_duplicate_patterns_raise(self, small_bt, environment):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            run_bandwidth_sweep(
+                small_bt, [100.0],
+                patterns=(ComputationPattern.IDEAL, ComputationPattern.IDEAL),
+                environment=environment)
+
+    def test_original_label_collision_raises(self, small_bt, environment):
+        with pytest.raises(AnalysisError, match="original"):
+            run_bandwidth_sweep(small_bt, [100.0],
+                                patterns=(_FakePattern(),),
+                                environment=environment)
+
+
+class TestStudyValidation:
+    def test_environment_study_rejects_duplicate_patterns(self, small_bt, environment):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            environment.study(small_bt,
+                              patterns=(ComputationPattern.IDEAL,
+                                        ComputationPattern.IDEAL))
+
+
+class TestMechanismSweepValidation:
+    def test_duplicate_mechanisms_raise(self, small_bt, environment):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            run_mechanism_sweep(
+                small_bt, 100.0,
+                mechanisms=(OverlapMechanism.FULL, OverlapMechanism.FULL),
+                environment=environment)

@@ -1,0 +1,52 @@
+"""Regression tests for the replay-core hardening fixes.
+
+* :meth:`CollectiveCoordinator.enter` must fail loudly when more entries
+  arrive for a collective than the trace has ranks (mismatched collective
+  counts), instead of silently over-counting and hanging;
+* :meth:`SimulationResult.max_compute_time` must tolerate an empty rank
+  list instead of raising a bare ``ValueError``.
+"""
+
+import pytest
+
+from repro.des import Environment
+from repro.dimemas.platform import Platform
+from repro.dimemas.replay import CollectiveCoordinator
+from repro.dimemas.results import SimulationResult
+from repro.errors import SimulationError
+from repro.paraver.timeline import Timeline
+from repro.tracing.records import CollectiveRecord
+
+
+@pytest.fixture
+def coordinator():
+    return CollectiveCoordinator(Environment(), Platform(), num_ranks=2)
+
+
+class TestCollectiveOverSubscription:
+    def test_exact_count_completes(self, coordinator):
+        record = CollectiveRecord(operation="barrier")
+        instance = coordinator.enter(0, record, 0)
+        coordinator.enter(1, record, 0)
+        assert instance.count == 2
+        assert instance.all_arrived.triggered
+
+    def test_extra_entry_raises_instead_of_hanging(self, coordinator):
+        record = CollectiveRecord(operation="barrier")
+        coordinator.enter(0, record, 0)
+        coordinator.enter(1, record, 0)
+        with pytest.raises(SimulationError, match="entries for 2 ranks"):
+            coordinator.enter(0, record, 0)
+
+    def test_mismatched_operation_still_raises(self, coordinator):
+        coordinator.enter(0, CollectiveRecord(operation="barrier"), 0)
+        with pytest.raises(SimulationError, match="entered"):
+            coordinator.enter(1, CollectiveRecord(operation="allreduce"), 0)
+
+
+class TestMaxComputeTime:
+    def test_empty_rank_list_defaults_to_zero(self):
+        result = SimulationResult(
+            platform=Platform(), total_time=0.0, ranks=[],
+            timeline=Timeline(num_ranks=1))
+        assert result.max_compute_time() == 0.0
