@@ -11,7 +11,6 @@ is so slow that communication dominates everything.
 import pytest
 
 from benchmarks.conftest import print_banner
-from repro.core.analysis import ORIGINAL
 from repro.core.reporting import sweep_table
 
 

@@ -10,7 +10,6 @@ bandwidth that is [a] couple of orders of magnitude lower."
 import pytest
 
 from benchmarks.conftest import print_banner
-from repro.core.analysis import ORIGINAL
 from repro.core.reporting import reduction_table
 
 

@@ -17,14 +17,15 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.apps.registry import APPLICATIONS, PAPER_IDEAL_SPEEDUP_PERCENT, create_application
-from repro.core.analysis import ORIGINAL, geometric_bandwidths
+from repro.core.analysis import geometric_bandwidths
 from repro.core.chunking import FixedCountChunking, FixedSizeChunking
 from repro.core.environment import OverlapStudyEnvironment
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.patterns import ComputationPattern
-from repro.core.reporting import format_table, sweep_table
-from repro.core.sweeps import run_bandwidth_sweep
+from repro.core.reporting import format_table, network_table, sweep_table, topology_table
+from repro.core.sweeps import run_bandwidth_sweep, run_topology_sweep
 from repro.dimemas.platform import Platform
+from repro.dimemas.topology import TOPOLOGIES, TopologySpec, split_topology_list
 from repro.dimemas.simulator import DimemasSimulator
 from repro.errors import ReproError
 from repro.paraver.prv import export_prv
@@ -70,6 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="highest bandwidth of the sweep (MB/s)")
     sweep.add_argument("--samples", type=int, default=9,
                        help="number of (log-spaced) bandwidth samples")
+    sweep.add_argument("--topologies",
+                       help="comma-separated topology specs to compare "
+                            "(e.g. 'flat,tree:radix=8,torus'); replays the "
+                            "same traced run on every topology and prints "
+                            "per-topology columns")
     _add_jobs_argument(sweep)
 
     simulate = subparsers.add_parser(
@@ -106,6 +112,14 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
                              "identical to the serial run")
 
 
+def _parse_topology(text: str) -> TopologySpec:
+    """Argparse type for topology specs (bad specs become usage errors)."""
+    try:
+        return TopologySpec.parse(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bandwidth", type=float, default=250.0,
                         help="network bandwidth in MB/s (0 = ideal network)")
@@ -117,6 +131,19 @@ def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
                         help="relative CPU speed of the target machine")
     parser.add_argument("--eager-threshold", type=int, default=65536,
                         help="eager/rendezvous switch-over size in bytes")
+    parser.add_argument("--topology", default="flat", type=_parse_topology,
+                        help="interconnect topology spec: "
+                             f"{'|'.join(sorted(TOPOLOGIES))}, optionally "
+                             "parameterised like 'tree:radix=8,links=2' or "
+                             "'torus:torus_width=4'")
+    parser.add_argument("--processors-per-node", type=int, default=1,
+                        help="ranks mapped onto each node (consecutive "
+                             "ranks fill nodes; same-node messages bypass "
+                             "the network)")
+    parser.add_argument("--intranode-bandwidth", type=float, default=2000.0,
+                        help="intra-node bandwidth in MB/s (0 = infinite)")
+    parser.add_argument("--intranode-latency", type=float, default=1.0e-6,
+                        help="intra-node latency in seconds")
 
 
 def _make_app(args: argparse.Namespace):
@@ -144,7 +171,11 @@ def _make_platform(args: argparse.Namespace) -> Platform:
         latency=args.latency,
         num_buses=args.buses,
         relative_cpu_speed=args.cpu_speed,
-        eager_threshold=args.eager_threshold)
+        eager_threshold=args.eager_threshold,
+        topology=args.topology,
+        processors_per_node=args.processors_per_node,
+        intranode_bandwidth_mbps=args.intranode_bandwidth,
+        intranode_latency=args.intranode_latency)
 
 
 # -- sub-commands ------------------------------------------------------------
@@ -195,9 +226,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     app = _make_app(args)
     bandwidths = geometric_bandwidths(args.min_bandwidth, args.max_bandwidth,
                                       args.samples)
+    if args.topologies:
+        return _run_topology_sweep(args, app, bandwidths, environment)
     sweep = run_bandwidth_sweep(app, bandwidths, environment=environment,
                                 jobs=args.jobs)
     print(sweep_table(sweep))
+    print()
+    print(network_table(sweep))
     print()
     wall = sweep.metadata.get("replay_wall_seconds")
     if wall is not None:
@@ -209,6 +244,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"peak ideal-pattern speedup: {peak:.3f}x at {peak_bandwidth:.1f} MB/s")
     if factor is not None:
         print(f"bandwidth reduction factor at the highest swept bandwidth: {factor:.1f}x")
+    return 0
+
+
+def _run_topology_sweep(args: argparse.Namespace, app, bandwidths,
+                        environment) -> int:
+    topologies = split_topology_list(args.topologies)
+    sweeps = run_topology_sweep(app, topologies, bandwidths,
+                                environment=environment, jobs=args.jobs)
+    print(topology_table(sweeps))
+    for name, sweep in sweeps.items():
+        print()
+        print(network_table(sweep))
+    print()
+    for name, sweep in sweeps.items():
+        peak_bandwidth, peak = sweep.peak_speedup("ideal")
+        print(f"{name}: peak ideal-pattern speedup {peak:.3f}x "
+              f"at {peak_bandwidth:.1f} MB/s")
+    first = next(iter(sweeps.values()))
+    wall = first.metadata.get("replay_wall_seconds")
+    if wall is not None:
+        tasks = len(topologies) * len(bandwidths) * len(first.variants)
+        print(f"replayed {tasks} tasks with {first.metadata.get('jobs', 1)} "
+              f"worker(s) in {wall:.2f} s")
     return 0
 
 

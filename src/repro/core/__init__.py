@@ -32,7 +32,7 @@ from repro.core.mechanisms import OverlapMechanism
 from repro.core.overlap import OverlapTransformer
 from repro.core.patterns import ComputationPattern
 from repro.core.study import OverlapStudy, run_batch_study
-from repro.core.sweeps import run_bandwidth_sweep, run_mechanism_sweep
+from repro.core.sweeps import run_bandwidth_sweep, run_mechanism_sweep, run_topology_sweep
 
 __all__ = [
     "BandwidthSweep",
@@ -53,6 +53,7 @@ __all__ = [
     "run_bandwidth_sweep",
     "run_batch_study",
     "run_mechanism_sweep",
+    "run_topology_sweep",
     "sancho_overlap_bound",
     "speedup",
 ]

@@ -13,6 +13,7 @@ ideal-pattern speedup:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.chunking import ChunkingPolicy, FixedSizeChunking
@@ -86,19 +87,10 @@ def eager_threshold_ablation(app: "ApplicationModel",
     overlapped = transformer.transform(trace)
     results: Dict[int, float] = {}
     for threshold in thresholds:
-        varied = Platform(
-            name=f"{platform.name}-eager{threshold}",
-            relative_cpu_speed=platform.relative_cpu_speed,
-            latency=platform.latency,
-            bandwidth_mbps=platform.bandwidth_mbps,
-            num_buses=platform.num_buses,
-            input_links=platform.input_links,
-            output_links=platform.output_links,
-            eager_threshold=threshold,
-            processors_per_node=platform.processors_per_node,
-            intranode_bandwidth_mbps=platform.intranode_bandwidth_mbps,
-            intranode_latency=platform.intranode_latency,
-            cpu_contention=platform.cpu_contention)
+        # replace() carries every other field (topology, mpi_overhead, ...)
+        # instead of enumerating them and silently dropping new ones.
+        varied = replace(platform, name=f"{platform.name}-eager{threshold}",
+                         eager_threshold=threshold)
         results[threshold] = _speedup(trace, overlapped, varied)
     return results
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dimemas.results import SimulationResult
 from repro.errors import AnalysisError
@@ -59,6 +59,9 @@ class SweepPoint:
     #: Wall-clock seconds each variant's replay task took (``{}`` when the
     #: sweep was produced without the executor's timing instrumentation).
     task_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Per-variant network counters (transfers, bytes, mean queue/transfer
+    #: time, intranode share) as recorded by the fabric during the replay.
+    network: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def replay_seconds(self) -> float:
         """Summed task time spent replaying this point's variants.
@@ -74,6 +77,10 @@ class SweepPoint:
         except KeyError:
             raise AnalysisError(
                 f"variant {variant!r} missing at bandwidth {self.bandwidth_mbps}") from None
+
+    def network_stat(self, variant: str, key: str, default: float = 0.0) -> float:
+        """One network counter of ``variant`` at this point (0 if absent)."""
+        return self.network.get(variant, {}).get(key, default)
 
     def speedup(self, variant: str) -> float:
         candidate = self.time(variant)

@@ -87,6 +87,22 @@ class SweepTaskResult:
     elapsed_seconds: float
     worker_pid: int
     point: int = 0
+    topology: str = "flat"
+    transfers: int = 0
+    bytes_transferred: int = 0
+    mean_queue_time: float = 0.0
+    mean_transfer_time: float = 0.0
+    intranode_share: float = 0.0
+
+    def network_summary(self) -> Dict[str, float]:
+        """The network counters this task carries, keyed like the fabric's."""
+        return {
+            "transfers": self.transfers,
+            "bytes_transferred": self.bytes_transferred,
+            "mean_queue_time": self.mean_queue_time,
+            "mean_transfer_time": self.mean_transfer_time,
+            "intranode_share": self.intranode_share,
+        }
 
 
 # -- task execution (both sides) ----------------------------------------------
@@ -102,6 +118,7 @@ def _metrics(task: SweepTask, trace: Trace,
              simulator: Optional[DimemasSimulator]) -> SweepTaskResult:
     start = time.perf_counter()
     result = _replay(task, trace, simulator)
+    network = result.network
     return SweepTaskResult(
         index=task.index,
         variant=task.variant,
@@ -111,7 +128,13 @@ def _metrics(task: SweepTask, trace: Trace,
         max_compute_time=result.max_compute_time(),
         elapsed_seconds=time.perf_counter() - start,
         worker_pid=os.getpid(),
-        point=task.point)
+        point=task.point,
+        topology=task.platform.topology.kind,
+        transfers=network.get("transfers", 0),
+        bytes_transferred=network.get("bytes_transferred", 0),
+        mean_queue_time=network.get("mean_queue_time", 0.0),
+        mean_transfer_time=network.get("mean_transfer_time", 0.0),
+        intranode_share=network.get("intranode_share", 0.0))
 
 
 def _lookup_trace(traces: Dict[str, Any], key: str) -> Any:
@@ -185,12 +208,15 @@ class SweepExecutor:
         tasks: List[SweepTask] = []
         for point, platform in enumerate(platforms):
             for variant in variants:
+                label = f"{app_name}:{variant}@{platform.bandwidth_mbps}MBps"
+                if platform.topology.kind != "flat":
+                    label += f"/{platform.topology.kind}"
                 tasks.append(SweepTask(
                     index=len(tasks),
                     variant=variant,
                     trace_key=variant,
                     platform=platform,
-                    label=f"{app_name}:{variant}@{platform.bandwidth_mbps}MBps",
+                    label=label,
                     point=point))
         return tasks
 
@@ -242,7 +268,8 @@ class SweepExecutor:
                     original.communication_fraction if original else 0.0),
                 original_compute_time=(
                     original.max_compute_time if original else 0.0),
-                task_seconds={r.variant: r.elapsed_seconds for r in group}))
+                task_seconds={r.variant: r.elapsed_seconds for r in group},
+                network={r.variant: r.network_summary() for r in group}))
         points.sort(key=lambda point: point.bandwidth_mbps)
         return points
 

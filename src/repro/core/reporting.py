@@ -67,6 +67,61 @@ def sweep_table(sweep: BandwidthSweep, variants: Optional[Sequence[str]] = None,
     return format_table(headers, rows, title=title)
 
 
+def network_table(sweep: BandwidthSweep, variant: str = ORIGINAL) -> str:
+    """Per-point network counters of one sweep variant.
+
+    Shows what the fabric recorded while replaying ``variant`` at each
+    bandwidth: transfer count, bytes moved, mean queue and transfer times
+    and the share of transfers that stayed inside a node.  Only sweeps run
+    through the task executor carry this data.
+    """
+    headers = ["bandwidth (MB/s)", "transfers", "bytes", "mean queue (s)",
+               "mean transfer (s)", "intranode share"]
+    rows = []
+    for point in sweep.points:
+        rows.append([
+            point.bandwidth_mbps,
+            int(point.network_stat(variant, "transfers")),
+            int(point.network_stat(variant, "bytes_transferred")),
+            point.network_stat(variant, "mean_queue_time"),
+            point.network_stat(variant, "mean_transfer_time"),
+            point.network_stat(variant, "intranode_share"),
+        ])
+    title = f"network statistics: {sweep.app_name} ({variant} variant"
+    topology = sweep.metadata.get("topology")
+    if topology:
+        title += f", {topology} topology"
+    return format_table(headers, rows, title=title + ")")
+
+
+def topology_table(sweeps: Dict[str, BandwidthSweep], variant: str = "ideal") -> str:
+    """Side-by-side topology comparison with per-topology columns.
+
+    ``sweeps`` maps topology names to the per-topology sweeps of
+    :func:`repro.core.sweeps.run_topology_sweep`; every topology contributes
+    an original-time and a speedup column, so E4/E5-style bandwidth curves
+    can be read per topology at a glance.
+    """
+    if not sweeps:
+        raise ValueError("topology_table needs at least one sweep")
+    names = list(sweeps)
+    first = sweeps[names[0]]
+    headers = ["bandwidth (MB/s)"]
+    for name in names:
+        headers.append(f"original (s) [{name}]")
+        headers.append(f"speedup ({variant}) [{name}]")
+    rows = []
+    for index, point in enumerate(first.points):
+        row: List[object] = [point.bandwidth_mbps]
+        for name in names:
+            other = sweeps[name].points[index]
+            row.append(other.time(ORIGINAL))
+            row.append(other.speedup(variant))
+        rows.append(row)
+    title = f"topology comparison: {first.app_name} ({', '.join(names)})"
+    return format_table(headers, rows, title=title)
+
+
 def peak_speedup_table(sweeps: Dict[str, BandwidthSweep], variant: str = "ideal",
                        paper_values: Optional[Dict[str, float]] = None) -> str:
     """The paper's headline table: per-application speedup at intermediate bandwidth."""

@@ -6,21 +6,26 @@ bandwidths.  That mirrors the paper's methodology: a single real run feeds
 the tracer, and Dimemas replays the resulting traces on many configurable
 platforms.
 
-The replays themselves are independent, so both drivers hand the expanded
-(variant x bandwidth) grid to a :class:`repro.core.executor.SweepExecutor`,
+The replays themselves are independent, so the drivers hand the expanded
+(variant x platform) grid to a :class:`repro.core.executor.SweepExecutor`,
 which runs it serially by default or on ``jobs`` worker processes with
-bit-identical results.
+bit-identical results.  :func:`run_topology_sweep` widens the grid with a
+topology axis (flat bus, hierarchical tree, 2-D torus), replaying the same
+traced run on structurally different interconnects.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, TYPE_CHECKING
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.core.analysis import ORIGINAL, BandwidthSweep
 from repro.core.executor import SweepExecutor, validate_variant_labels
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.patterns import ComputationPattern
 from repro.dimemas.platform import Platform
+from repro.dimemas.topology import TopologySpec
+from repro.errors import AnalysisError
 from repro.tracing.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -72,6 +77,81 @@ def run_bandwidth_sweep(app: "ApplicationModel",
             "jobs": executor.jobs,
             "replay_wall_seconds": wall_seconds,
         })
+
+
+def run_topology_sweep(app: "ApplicationModel",
+                       topologies: Sequence[Union[TopologySpec, str]],
+                       bandwidths_mbps: Sequence[float],
+                       patterns: Iterable[ComputationPattern] = (
+                           ComputationPattern.REAL, ComputationPattern.IDEAL),
+                       mechanism: OverlapMechanism = OverlapMechanism.FULL,
+                       environment: Optional["OverlapStudyEnvironment"] = None,
+                       platform: Optional[Platform] = None,
+                       jobs: Optional[int] = None) -> Dict[str, BandwidthSweep]:
+    """Replay one traced run across topologies x bandwidths x variants.
+
+    The application is traced (and overlapped) exactly once; the whole
+    topology x bandwidth grid is expanded into one task list and executed in
+    a single :class:`SweepExecutor` pass, so a multi-process pool is shared
+    across topologies.  Returns one :class:`BandwidthSweep` per topology,
+    keyed by the topology's string form, each bit-identical to the sweep a
+    serial run on that topology alone would produce.  Because the grid is
+    executed as one batch, every sweep's ``replay_wall_seconds`` metadata
+    is the wall time of the *whole* grid, not of that topology's share.
+    """
+    from repro.core.environment import OverlapStudyEnvironment
+
+    if not topologies:
+        raise AnalysisError("topology sweep needs at least one topology")
+    specs = [TopologySpec.parse(topology) for topology in topologies]
+    keys = [spec.to_string() for spec in specs]
+    if len(set(keys)) != len(keys):
+        raise AnalysisError(f"duplicate topologies in sweep: {keys}")
+
+    environment = environment or OverlapStudyEnvironment(platform=platform)
+    base_platform = platform or environment.platform
+    patterns = list(patterns)
+    validate_variant_labels(pattern.value for pattern in patterns)
+
+    original = environment.trace(app)
+    variants: Dict[str, Trace] = {ORIGINAL: original}
+    for pattern in patterns:
+        variants[pattern.value] = environment.overlap(
+            original, pattern=pattern, mechanism=mechanism)
+
+    platforms: List[Platform] = []
+    for spec in specs:
+        topology_platform = base_platform.with_topology(spec)
+        platforms.extend(topology_platform.with_bandwidth(bandwidth)
+                         for bandwidth in bandwidths_mbps)
+
+    executor = SweepExecutor(jobs=jobs)
+    tasks = executor.expand(variants, platforms, app_name=app.name)
+    start = time.perf_counter()
+    results = executor.execute(tasks, variants, simulator=environment.simulator)
+    wall_seconds = time.perf_counter() - start
+
+    points_per_topology = len(bandwidths_mbps)
+    sweeps: Dict[str, BandwidthSweep] = {}
+    for index, (spec, key) in enumerate(zip(specs, keys)):
+        first = index * points_per_topology
+        subset = [result for result in results
+                  if first <= result.point < first + points_per_topology]
+        sweeps[key] = BandwidthSweep(
+            app_name=app.name,
+            variants=list(variants),
+            points=executor.merge(subset),
+            metadata={
+                "mechanism": mechanism.label,
+                "chunking": environment.chunking.describe(),
+                "num_ranks": app.num_ranks,
+                "platform": base_platform.name,
+                "topology": key,
+                "topologies": keys,
+                "jobs": executor.jobs,
+                "replay_wall_seconds": wall_seconds,
+            })
+    return sweeps
 
 
 def run_mechanism_sweep(app: "ApplicationModel",

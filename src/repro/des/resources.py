@@ -8,7 +8,7 @@ message queues between the matching engine and the replay processes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, List
 
 from repro.des.core import Environment
 from repro.des.events import PRIORITY_URGENT, Event

@@ -6,8 +6,11 @@ implements that machine model from scratch on top of :mod:`repro.des`:
 
 * :mod:`repro.dimemas.platform`    -- the platform description (CPU speed,
   latency, bandwidth, buses, per-node links, eager threshold, mapping);
-* :mod:`repro.dimemas.network`     -- point-to-point transfers with link and
-  bus contention;
+* :mod:`repro.dimemas.topology`    -- pluggable interconnect topologies
+  (flat bus, hierarchical tree, 2-D torus) with routing and per-hop
+  contention resources;
+* :mod:`repro.dimemas.network`     -- point-to-point transfers routed over
+  the topology model;
 * :mod:`repro.dimemas.protocol`    -- eager/rendezvous selection;
 * :mod:`repro.dimemas.collectives` -- collective cost models;
 * :mod:`repro.dimemas.matching`    -- cross-rank message matching;
@@ -19,10 +22,24 @@ implements that machine model from scratch on top of :mod:`repro.des`:
 from repro.dimemas.platform import Platform
 from repro.dimemas.results import RankStats, SimulationResult
 from repro.dimemas.simulator import DimemasSimulator
+from repro.dimemas.topology import (
+    TOPOLOGIES,
+    FlatBus,
+    HierarchicalTree,
+    NetworkModel,
+    TopologySpec,
+    Torus2D,
+)
 
 __all__ = [
     "DimemasSimulator",
+    "FlatBus",
+    "HierarchicalTree",
+    "NetworkModel",
     "Platform",
     "RankStats",
     "SimulationResult",
+    "TOPOLOGIES",
+    "TopologySpec",
+    "Torus2D",
 ]

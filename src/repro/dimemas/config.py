@@ -39,6 +39,9 @@ _FIELDS = {
     "intranode_latency": float,
     "cpu_contention": bool,
     "mpi_overhead": float,
+    # Stored in the compact string form ("tree:radix=8,links=2"); Platform
+    # parses it back into a TopologySpec.
+    "topology": str,
 }
 
 
@@ -47,7 +50,9 @@ def platform_to_config(platform: Platform) -> str:
     lines = ["# dimemas-like platform description"]
     for field, kind in _FIELDS.items():
         value = getattr(platform, field)
-        if kind is bool:
+        if field == "topology":
+            value = platform.topology.to_string()
+        elif kind is bool:
             value = "true" if value else "false"
         lines.append(f"{field} = {value}")
     return "\n".join(lines) + "\n"

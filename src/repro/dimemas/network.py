@@ -1,27 +1,34 @@
-"""The interconnect model: links, buses and transfer processes.
+"""The interconnect fabric: topology-routed transfer processes.
 
-The Dimemas network model charges every inter-node transfer
-``latency + size / bandwidth`` and limits concurrency three ways: a finite
-number of network buses shared by all transfers, and per-node input and
-output links.  Transfers between ranks mapped to the same node bypass the
-network and use the (faster) intra-node parameters.
+The Dimemas network model charges every inter-node transfer per-hop
+``latency + size / bandwidth`` and limits concurrency through the hop
+resources of a pluggable :class:`~repro.dimemas.topology.NetworkModel`
+(selected by ``platform.topology``; the default :class:`FlatBus` reproduces
+the original global-buses + per-node-links model bit for bit).  Transfers
+between ranks mapped to the same node bypass the network entirely and use
+the (faster) intra-node parameters.
+
+A transfer crosses its route store-and-forward: each hop's resources are
+acquired in the hop's fixed order, held for that hop's transfer time and
+released (in a ``try``/``finally``, so a failed or interrupted transfer
+never leaks capacity) before the next hop is requested.  No transfer waits
+for a hop while holding another hop's resources, which keeps every
+topology -- wrap-around torus rings included -- deadlock-free.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
-from repro.des import Environment, Resource
-from repro.des.resources import InfiniteResource
+from repro.des import Environment
 from repro.dimemas.messages import Message
 from repro.dimemas.platform import Platform
+from repro.dimemas.topology import NetworkModel, build_network_model
 from repro.paraver.timeline import Timeline
-
-LinkResource = Union[Resource, InfiniteResource]
 
 
 class NetworkStatistics:
-    """Aggregate counters maintained by the fabric."""
+    """Aggregate transfer counters maintained by the fabric."""
 
     def __init__(self) -> None:
         self.transfers = 0
@@ -29,6 +36,10 @@ class NetworkStatistics:
         self.total_transfer_time = 0.0
         self.total_queue_time = 0.0
         self.intranode_transfers = 0
+        #: Per-hop-class accumulators, keyed by hop name (e.g. ``net``,
+        #: ``up0``, ``x+``): how many crossings and how long they queued.
+        self.hop_transfers: Dict[str, int] = {}
+        self.hop_queue_time: Dict[str, float] = {}
 
     def record(self, size: int, queue_time: float, transfer_time: float,
                intranode: bool) -> None:
@@ -39,13 +50,38 @@ class NetworkStatistics:
         if intranode:
             self.intranode_transfers += 1
 
+    def record_hop(self, name: str, queue_time: float) -> None:
+        self.hop_transfers[name] = self.hop_transfers.get(name, 0) + 1
+        self.hop_queue_time[name] = self.hop_queue_time.get(name, 0.0) + queue_time
+
     @property
     def mean_queue_time(self) -> float:
         return self.total_queue_time / self.transfers if self.transfers else 0.0
 
+    @property
+    def mean_transfer_time(self) -> float:
+        """Mean end-to-end transfer duration (queueing excluded)."""
+        return self.total_transfer_time / self.transfers if self.transfers else 0.0
+
+    @property
+    def intranode_share(self) -> float:
+        """Fraction of transfers that stayed inside a node."""
+        return self.intranode_transfers / self.transfers if self.transfers else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The scalar counters surfaced by results and sweep tables."""
+        return {
+            "transfers": self.transfers,
+            "bytes_transferred": self.bytes_transferred,
+            "mean_queue_time": self.mean_queue_time,
+            "mean_transfer_time": self.mean_transfer_time,
+            "intranode_transfers": self.intranode_transfers,
+            "intranode_share": self.intranode_share,
+        }
+
 
 class NetworkFabric:
-    """Owns the contention resources and runs transfer processes."""
+    """Runs transfer processes over the platform's topology model."""
 
     def __init__(self, env: Environment, platform: Platform, num_ranks: int,
                  timeline: Optional[Timeline] = None):
@@ -54,27 +90,7 @@ class NetworkFabric:
         self.num_ranks = num_ranks
         self.timeline = timeline
         self.statistics = NetworkStatistics()
-        self._buses = self._make_resource(platform.num_buses, "buses")
-        self._output_links: Dict[int, LinkResource] = {}
-        self._input_links: Dict[int, LinkResource] = {}
-
-    # -- resources --------------------------------------------------------
-    def _make_resource(self, capacity: int, name: str) -> LinkResource:
-        if capacity == 0:
-            return InfiniteResource(self.env, name=name)
-        return Resource(self.env, capacity=capacity, name=name)
-
-    def _output_link(self, node: int) -> LinkResource:
-        if node not in self._output_links:
-            self._output_links[node] = self._make_resource(
-                self.platform.output_links, f"out[{node}]")
-        return self._output_links[node]
-
-    def _input_link(self, node: int) -> LinkResource:
-        if node not in self._input_links:
-            self._input_links[node] = self._make_resource(
-                self.platform.input_links, f"in[{node}]")
-        return self._input_links[node]
+        self.model: NetworkModel = build_network_model(env, platform, num_ranks)
 
     # -- transfers ------------------------------------------------------------
     def start_transfer(self, message: Message) -> None:
@@ -86,28 +102,40 @@ class NetworkFabric:
         src_node = platform.node_of(message.src)
         dst_node = platform.node_of(message.dst)
         intranode = src_node == dst_node
-        requested_at = self.env.now
-        requests = []
-        try:
-            if not intranode:
-                # Acquire in a fixed global order (output link, input link, bus)
-                # so transfers never hold resources in conflicting orders.
-                for resource in (self._output_link(src_node),
-                                 self._input_link(dst_node), self._buses):
-                    request = resource.request()
-                    requests.append((resource, request))
-                    yield request
+        queue_time = 0.0
+        duration = 0.0
+        if intranode:
             message.transfer_start = self.env.now
-            queue_time = self.env.now - requested_at
-            duration = platform.transfer_time(message.size, intranode=intranode)
+            duration = platform.transfer_time(message.size, intranode=True)
             yield self.env.timeout(duration)
-        finally:
-            # A failed or interrupted transfer must return its capacity;
-            # leaking a link or bus slot deadlocks every later transfer
-            # through the same resource.  Releasing a still-queued request
-            # simply withdraws it.
-            for resource, request in requests:
-                resource.release(request)
+        else:
+            for hop in self.model.route(src_node, dst_node):
+                requested_at = self.env.now
+                requests = []
+                try:
+                    # Acquire the hop's resources in its fixed order (for
+                    # the flat bus: output link, input link, bus) so
+                    # transfers never hold one hop's resources in
+                    # conflicting orders.
+                    for resource in hop.resources:
+                        request = resource.request()
+                        requests.append((resource, request))
+                        yield request
+                    hop_queue = self.env.now - requested_at
+                    if message.transfer_start is None:
+                        message.transfer_start = self.env.now
+                    hop_duration = hop.transfer_time(message.size)
+                    yield self.env.timeout(hop_duration)
+                finally:
+                    # A failed or interrupted transfer must return its
+                    # capacity; leaking a link or bus slot deadlocks every
+                    # later transfer through the same resource.  Releasing
+                    # a still-queued request simply withdraws it.
+                    for resource, request in requests:
+                        resource.release(request)
+                queue_time += hop_queue
+                duration += hop_duration
+                self.statistics.record_hop(hop.name, hop_queue)
         message.arrival_time = self.env.now
         message.arrived.succeed(self.env.now)
         self.statistics.record(message.size, queue_time, duration, intranode)

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Union
 
+from repro.dimemas.topology import TopologySpec
 from repro.errors import ConfigurationError
 
 #: Bytes in a megabyte, used to convert the Dimemas-style MB/s bandwidth.
@@ -32,6 +33,10 @@ class Platform:
     * ``processors_per_node`` maps consecutive ranks onto nodes; messages
       between ranks of the same node use ``intranode_bandwidth_mbps`` /
       ``intranode_latency`` and do not consume buses or links;
+    * ``topology`` selects and parameterises the interconnect shape (see
+      :class:`~repro.dimemas.topology.TopologySpec`); the default ``flat``
+      topology is the historical buses-plus-links model, ``tree`` and
+      ``torus`` route transfers over multi-hop contended paths;
     * ``mpi_overhead`` charges a fixed CPU cost (seconds) for every MPI call
       the trace replays.  The paper's time model deliberately ignores this
       overhead but notes that "the model can be extended to address these
@@ -53,8 +58,17 @@ class Platform:
     intranode_latency: float = 1.0e-6
     cpu_contention: bool = False
     mpi_overhead: float = 0.0
+    topology: TopologySpec = TopologySpec()
 
     def __post_init__(self) -> None:
+        if isinstance(self.topology, str):
+            # Accept the compact string form ("tree:radix=8") anywhere a
+            # spec is expected -- the CLI and config files hand us strings.
+            object.__setattr__(self, "topology", TopologySpec.parse(self.topology))
+        elif not isinstance(self.topology, TopologySpec):
+            raise ConfigurationError(
+                f"topology must be a TopologySpec or its string form, "
+                f"got {self.topology!r}")
         if self.relative_cpu_speed <= 0:
             raise ConfigurationError("relative_cpu_speed must be positive")
         if self.mpi_overhead < 0:
@@ -125,6 +139,10 @@ class Platform:
     def with_mpi_overhead(self, mpi_overhead: float) -> "Platform":
         """A copy of this platform that charges a per-MPI-call CPU overhead."""
         return replace(self, mpi_overhead=mpi_overhead)
+
+    def with_topology(self, topology: Union[TopologySpec, str]) -> "Platform":
+        """A copy of this platform on a different interconnect topology."""
+        return replace(self, topology=TopologySpec.parse(topology))
 
     @classmethod
     def ideal_network(cls, name: str = "ideal") -> "Platform":

@@ -109,13 +109,11 @@ class ReplayEngine:
         self.env.run()
         self._check_finished()
         total_time = max((stats.finish_time for stats in self.stats), default=0.0)
-        network_stats = {
-            "transfers": self.network.statistics.transfers,
-            "bytes_transferred": self.network.statistics.bytes_transferred,
-            "mean_queue_time": self.network.statistics.mean_queue_time,
-            "intranode_transfers": self.network.statistics.intranode_transfers,
-            "messages_matched": self.matcher.messages_matched,
-        }
+        network_stats = dict(self.network.statistics.summary())
+        network_stats["messages_matched"] = self.matcher.messages_matched
+        network_stats["topology"] = self.platform.topology.kind
+        network_stats["hop_queue_time"] = dict(self.network.statistics.hop_queue_time)
+        network_stats["hop_transfers"] = dict(self.network.statistics.hop_transfers)
         return total_time, self.stats, self.timeline, network_stats
 
     # -- internals ------------------------------------------------------------

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.dimemas.platform import Platform
 from repro.errors import AnalysisError
@@ -98,12 +98,17 @@ class SimulationResult:
         """Summary dictionary used by reports and the CLI."""
         return {
             "platform": self.platform.name,
+            "topology": self.platform.topology.to_string(),
             "bandwidth_mbps": self.platform.bandwidth_mbps,
             "latency": self.platform.latency,
             "num_ranks": self.num_ranks,
             "total_time": self.total_time,
             "parallel_efficiency": self.parallel_efficiency(),
             "communication_fraction": self.communication_fraction(),
+            "transfers": self.network.get("transfers", 0),
             "bytes_transferred": self.network.get("bytes_transferred", 0),
+            "mean_queue_time": self.network.get("mean_queue_time", 0.0),
+            "mean_transfer_time": self.network.get("mean_transfer_time", 0.0),
+            "intranode_share": self.network.get("intranode_share", 0.0),
             "label": self.metadata.get("label"),
         }

@@ -10,7 +10,7 @@ rank, which is how the paper inspects *where* the waiting time goes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.errors import AnalysisError
 from repro.paraver.states import ThreadState

@@ -11,7 +11,7 @@ time rather than deadlocking the replay simulator.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.errors import TracingError
 from repro.tracing.context import RankContext

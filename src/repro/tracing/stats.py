@@ -10,7 +10,7 @@ trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.tracing.records import CollectiveRecord, CpuBurst, RecvRecord, SendRecord, WaitRecord
 from repro.tracing.trace import RankTrace, Trace

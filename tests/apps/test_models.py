@@ -18,7 +18,7 @@ from repro.apps.registry import PAPER_IDEAL_SPEEDUP_PERCENT
 from repro.errors import ConfigurationError
 from repro.mpi.validation import MatchingValidator
 from repro.tracing import TracingVirtualMachine
-from repro.tracing.records import CollectiveRecord, RecvRecord, SendRecord
+from repro.tracing.records import RecvRecord, SendRecord
 
 SMALL_MODELS = [
     NasBT(num_ranks=4, iterations=1, face_bytes=50_000, instructions_per_phase=5e5),

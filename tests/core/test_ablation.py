@@ -59,6 +59,19 @@ class TestEagerThresholdAblation:
         assert results[1 << 20] >= results[0] - 1e-9
         assert results[1 << 20] > 1.1
 
+    def test_platform_topology_is_preserved(self, app):
+        """The varied platforms must keep every non-threshold field.
+
+        Regression: the ablation used to rebuild the Platform field by
+        field, silently resetting tree/torus platforms to the flat bus.
+        """
+        flat = eager_threshold_ablation(
+            app, thresholds=(16384,), platform=Platform(bandwidth_mbps=50.0))
+        tree = eager_threshold_ablation(
+            app, thresholds=(16384,),
+            platform=Platform(bandwidth_mbps=50.0, topology="tree:radix=2,links=1"))
+        assert tree[16384] != flat[16384]
+
 
 class TestCpuSpeedAblation:
     def test_cpu_speed_moves_the_app_along_the_bandwidth_curve(self, app, platform):

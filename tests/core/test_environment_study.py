@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core import ComputationPattern, OverlapMechanism, OverlapStudyEnvironment
+from repro.core import ComputationPattern
 from repro.core.analysis import ORIGINAL
 from repro.core.reporting import format_table, peak_speedup_table, reduction_table, sweep_table
 from repro.core.sweeps import run_bandwidth_sweep, run_mechanism_sweep
-from repro.dimemas import Platform
 from repro.errors import AnalysisError
 
 

@@ -10,7 +10,6 @@ import random
 import pytest
 
 from repro.apps import NasCG
-from repro.core import OverlapStudyEnvironment, FixedCountChunking
 from repro.core.analysis import ORIGINAL
 from repro.core.executor import (
     SweepExecutor,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import Environment, Event, Timeout
+from repro.des import Environment
 from repro.des.events import AllOf, AnyOf
 from repro.des.exceptions import EventAlreadyTriggered
 

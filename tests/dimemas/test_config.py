@@ -30,6 +30,24 @@ class TestConfigRoundTrip:
         text = platform_to_config(Platform())
         assert text.startswith("#")
         assert "bandwidth_mbps = 250.0" in text
+        assert "topology = flat" in text
+
+    def test_topology_round_trip(self):
+        platform = Platform(topology="tree:radix=8,links=2")
+        rebuilt = config_to_platform(platform_to_config(platform))
+        assert rebuilt == platform
+        assert rebuilt.topology.radix == 8
+
+    def test_topology_options_survive_the_equals_sign(self):
+        # The option list itself contains '='; the line parser must only
+        # split on the first one.
+        platform = config_to_platform("topology = torus:torus_width=4")
+        assert platform.topology.kind == "torus"
+        assert platform.topology.torus_width == 4
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_to_platform("topology = mesh")
 
 
 class TestParsing:

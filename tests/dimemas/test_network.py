@@ -4,6 +4,7 @@ A transfer that fails or is interrupted while holding an output link, an
 input link or a bus must return that capacity; previously the releases were
 not in a ``try/finally``, so one failed transfer permanently leaked the
 slots and deadlocked every subsequent transfer through the same resources.
+The resources now live on the fabric's FlatBus topology model.
 """
 
 import pytest
@@ -44,27 +45,27 @@ class TestTransferResourceSafety:
         fabric = NetworkFabric(env, platform, num_ranks=2)
         generator = fabric._transfer(_message(env))
         _drive_to_timeout(generator)
-        assert fabric._buses.count == 1
+        assert fabric.model.buses.count == 1
         with pytest.raises(RuntimeError):
             generator.throw(RuntimeError("interrupted"))
-        assert fabric._buses.count == 0
-        assert fabric._output_link(0).count == 0
-        assert fabric._input_link(1).count == 0
+        assert fabric.model.buses.count == 0
+        assert fabric.model.output_link(0).count == 0
+        assert fabric.model.input_link(1).count == 0
 
     def test_interrupt_while_queued_withdraws_the_request(self, env, platform):
         fabric = NetworkFabric(env, platform, num_ranks=2)
-        holder = fabric._buses.request()  # occupy the single bus
+        holder = fabric.model.buses.request()  # occupy the single bus
         generator = fabric._transfer(_message(env))
         next(generator)            # output link granted
         generator.send(None)       # input link granted, bus request queued
         generator.send(None)
-        assert fabric._buses.queue_length == 1
+        assert fabric.model.buses.queue_length == 1
         generator.close()          # GeneratorExit runs the cleanup
-        assert fabric._buses.queue_length == 0
-        assert fabric._output_link(0).count == 0
-        assert fabric._input_link(1).count == 0
-        assert fabric._buses.count == 1  # the unrelated holder keeps its slot
-        fabric._buses.release(holder)
+        assert fabric.model.buses.queue_length == 0
+        assert fabric.model.output_link(0).count == 0
+        assert fabric.model.input_link(1).count == 0
+        assert fabric.model.buses.count == 1  # the unrelated holder keeps its slot
+        fabric.model.buses.release(holder)
 
     def test_transfers_still_flow_after_a_failed_one(self, env, platform):
         fabric = NetworkFabric(env, platform, num_ranks=2)
@@ -86,6 +87,6 @@ class TestTransferResourceSafety:
         env.run()
         assert message.arrival_time == pytest.approx(
             platform.transfer_time(message.size))
-        assert fabric._buses.count == 0
-        assert fabric._output_link(0).count == 0
-        assert fabric._input_link(1).count == 0
+        assert fabric.model.buses.count == 0
+        assert fabric.model.output_link(0).count == 0
+        assert fabric.model.input_link(1).count == 0

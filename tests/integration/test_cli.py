@@ -70,3 +70,70 @@ class TestCli:
         code = main(["simulate", "--trace", str(tmp_path / "missing.json")])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestCliTopologies:
+    def _trace(self, tmp_path):
+        path = tmp_path / "loop.json"
+        assert main(["trace", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--output", str(path)]) == 0
+        return path
+
+    def test_simulate_on_a_topology(self, tmp_path, capsys):
+        trace_path = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["simulate", "--trace", str(trace_path),
+                     "--topology", "tree:radix=2", "--bandwidth", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "topology" in out and "tree:radix=2" in out
+        assert "mean_queue_time" in out and "intranode_share" in out
+
+    def test_simulate_with_node_mapping_knobs(self, tmp_path, capsys):
+        trace_path = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["simulate", "--trace", str(trace_path),
+                     "--processors-per-node", "4",
+                     "--intranode-bandwidth", "4000",
+                     "--intranode-latency", "5e-7"]) == 0
+        out = capsys.readouterr().out
+        # All four ranks share one node, so every transfer is intranode.
+        share_line = next(line for line in out.splitlines()
+                          if line.startswith("intranode_share"))
+        assert share_line.split()[-1] == "1.000"
+
+    def test_sweep_across_topologies(self, capsys):
+        code = main(["sweep", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--min-bandwidth", "20",
+                     "--max-bandwidth", "2000", "--samples", "3",
+                     "--chunk-count", "4",
+                     "--topologies", "flat,tree:radix=2,torus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology comparison" in out
+        assert "speedup (ideal) [torus]" in out
+        assert "network statistics" in out
+        assert "peak ideal-pattern speedup" in out
+
+    def test_sweep_topologies_accepts_multi_option_specs(self, capsys):
+        # Spec options contain commas; the list splitter must not break them.
+        code = main(["sweep", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--min-bandwidth", "20",
+                     "--max-bandwidth", "2000", "--samples", "3",
+                     "--chunk-count", "4",
+                     "--topologies", "flat,tree:radix=2,links=2"])
+        assert code == 0
+        assert "tree:radix=2,links=2" in capsys.readouterr().out
+
+    def test_sweep_prints_network_statistics(self, capsys):
+        code = main(["sweep", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--min-bandwidth", "20",
+                     "--max-bandwidth", "2000", "--samples", "3",
+                     "--chunk-count", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "network statistics" in out and "mean queue (s)" in out
+
+    def test_bad_topology_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--trace", "whatever.json", "--topology", "mesh"])
+        assert "topology" in capsys.readouterr().err

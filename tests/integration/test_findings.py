@@ -9,7 +9,7 @@ import pytest
 
 from repro.apps import Alya, NasBT, NasCG, Specfem, Sweep3D
 from repro.core import ComputationPattern, OverlapStudyEnvironment
-from repro.core.analysis import ORIGINAL, sancho_overlap_bound
+from repro.core.analysis import sancho_overlap_bound
 from repro.core.sweeps import run_bandwidth_sweep
 from repro.dimemas import Platform
 

@@ -10,7 +10,7 @@ from repro.core.overlap import OverlapTransformer
 from repro.core.patterns import ComputationPattern
 from repro.mpi.validation import MatchingValidator
 from repro.tracing.machine import TracingVirtualMachine
-from repro.tracing.records import CpuBurst, RecvRecord, SendRecord, WaitRecord
+from repro.tracing.records import RecvRecord, SendRecord, WaitRecord
 from repro.workloads import generate_workload
 
 workload_specs = st.fixed_dictionaries({

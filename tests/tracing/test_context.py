@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import TracingError
 from repro.tracing.context import RankContext, RequestHandle
-from repro.tracing.records import CollectiveRecord, CpuBurst, SendRecord
+from repro.tracing.records import CollectiveRecord, SendRecord
 from repro.tracing.tracer import RankTracer
 
 
