@@ -14,11 +14,10 @@ Run with::
 
 import argparse
 
-from repro.apps.registry import APPLICATIONS, create_application
-from repro.core import ComputationPattern, OverlapStudyEnvironment
+from repro.apps.registry import APPLICATIONS
 from repro.core.analysis import ORIGINAL, geometric_bandwidths
 from repro.core.reporting import sweep_table
-from repro.core.sweeps import run_bandwidth_sweep
+from repro.experiments import Experiment
 
 
 def main() -> None:
@@ -30,15 +29,14 @@ def main() -> None:
     parser.add_argument("--samples", type=int, default=8)
     args = parser.parse_args()
 
-    app = create_application(args.app, num_ranks=args.ranks)
     bandwidths = geometric_bandwidths(args.min_bandwidth, args.max_bandwidth,
                                       args.samples)
     print(f"sweeping {args.app} over {args.samples} bandwidths "
           f"({args.min_bandwidth:.0f} .. {args.max_bandwidth:.0f} MB/s) ...")
-    sweep = run_bandwidth_sweep(app, bandwidths,
-                                patterns=(ComputationPattern.REAL,
-                                          ComputationPattern.IDEAL),
-                                environment=OverlapStudyEnvironment())
+    sweep = (Experiment.for_app(args.app, num_ranks=args.ranks)
+             .bandwidths(bandwidths)
+             .patterns("real", "ideal")
+             .run().sweep())
 
     print()
     print(sweep_table(sweep))

@@ -17,23 +17,22 @@ statistics.  Run with::
     PYTHONPATH=src python examples/topology_comparison.py
 """
 
-from repro.apps import NasBT
-from repro.core import OverlapStudyEnvironment, run_topology_sweep
-from repro.core.analysis import geometric_bandwidths
 from repro.core.reporting import network_table, topology_table
+from repro.experiments import Experiment, log_spaced
 
 TOPOLOGIES = [
     "flat",
-    "tree:radix=4,bandwidth_scale=2.0,links=2",
-    "torus:links=1",
+    "tree:bandwidth_scale=2.0,links=2",
+    "torus",
 ]
 
 
 def main() -> int:
-    app = NasBT(num_ranks=16, iterations=4)
-    bandwidths = geometric_bandwidths(10.0, 10000.0, 5)
-    sweeps = run_topology_sweep(
-        app, TOPOLOGIES, bandwidths, environment=OverlapStudyEnvironment())
+    result = (Experiment.for_app("nas-bt", num_ranks=16, iterations=4)
+              .bandwidths(log_spaced(10.0, 10000.0, 5))
+              .topologies(TOPOLOGIES)
+              .run())
+    sweeps = result.by_topology()
 
     print(topology_table(sweeps))
     for name, sweep in sweeps.items():

@@ -28,6 +28,11 @@ contribution:
     The overlap study itself: chunking policies, computation-pattern models,
     overlap mechanisms, the trace transformation that produces the overlapped
     traces, the study environment facade, analysis and parameter sweeps.
+``repro.experiments``
+    The unified declarative experiment API: one serializable
+    :class:`ExperimentSpec` (built fluently or loaded from JSON/TOML), one
+    runner expanding the full apps x platform-grid x variants cross-product,
+    one typed :class:`ExperimentResult`.
 """
 
 from repro._version import __version__
@@ -36,14 +41,19 @@ from repro.core.mechanisms import OverlapMechanism
 from repro.core.patterns import ComputationPattern
 from repro.dimemas.platform import Platform
 from repro.dimemas.simulator import DimemasSimulator
+from repro.experiments import Experiment, ExperimentResult, ExperimentSpec, run_experiment
 from repro.tracing.machine import TracingVirtualMachine
 
 __all__ = [
     "__version__",
-    "OverlapStudyEnvironment",
-    "OverlapMechanism",
     "ComputationPattern",
-    "Platform",
     "DimemasSimulator",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "OverlapMechanism",
+    "OverlapStudyEnvironment",
+    "Platform",
     "TracingVirtualMachine",
+    "run_experiment",
 ]

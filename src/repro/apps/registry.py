@@ -13,8 +13,12 @@ from repro.apps.specfem import Specfem
 from repro.apps.sweep3d import Sweep3D
 from repro.apps.synthetic import SanchoLoop
 from repro.errors import ConfigurationError
+from repro.workloads.generator import RandomExchangeWorkload, generate_workload
 
-#: All application models by name.
+#: All application models by name.  The seeded synthetic-workload generator
+#: registers alongside the paper applications, so experiment specs and the
+#: CLI can name generated workloads (``random-exchange`` plus a ``seed``
+#: option) exactly like built-in apps.
 APPLICATIONS: Dict[str, Callable[..., ApplicationModel]] = {
     NasBT.name: NasBT,
     NasCG.name: NasCG,
@@ -23,6 +27,7 @@ APPLICATIONS: Dict[str, Callable[..., ApplicationModel]] = {
     Specfem.name: Specfem,
     Sweep3D.name: Sweep3D,
     SanchoLoop.name: SanchoLoop,
+    RandomExchangeWorkload.name: generate_workload,
 }
 
 #: Speedup percentages the paper reports at intermediate bandwidth with the
@@ -44,7 +49,12 @@ def create_application(name: str, **overrides: Any) -> ApplicationModel:
     except KeyError:
         raise ConfigurationError(
             f"unknown application {name!r}; available: {sorted(APPLICATIONS)}") from None
-    return factory(**overrides)
+    try:
+        return factory(**overrides)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"application {name!r} does not accept options "
+            f"{sorted(overrides)}: {exc}") from exc
 
 
 def paper_applications(num_ranks: int = 16, scale: float = 1.0) -> List[ApplicationModel]:

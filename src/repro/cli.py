@@ -6,7 +6,13 @@ The CLI exposes the full pipeline from the terminal::
     repro-overlap trace    --app nas-bt --output bt.json
     repro-overlap study    --app sweep3d --bandwidth 250 --gantt
     repro-overlap sweep    --app alya --min-bandwidth 2 --max-bandwidth 20000
+    repro-overlap run      --spec experiment.toml --csv rows.csv
     repro-overlap simulate --trace bt.json --bandwidth 100 --prv bt.prv
+
+``study``, ``sweep`` and ``run`` are all fronts for the same declarative
+experiment API (:mod:`repro.experiments`): the first two build an
+:class:`~repro.experiments.spec.ExperimentSpec` from their flags, ``run``
+loads one from a JSON/TOML file.
 """
 
 from __future__ import annotations
@@ -16,18 +22,17 @@ import sys
 from typing import List, Optional
 
 from repro._version import __version__
-from repro.apps.registry import APPLICATIONS, PAPER_IDEAL_SPEEDUP_PERCENT, create_application
+from repro.apps.registry import APPLICATIONS, PAPER_IDEAL_SPEEDUP_PERCENT
 from repro.core.analysis import geometric_bandwidths
-from repro.core.chunking import FixedCountChunking, FixedSizeChunking
 from repro.core.environment import OverlapStudyEnvironment
-from repro.core.mechanisms import OverlapMechanism
-from repro.core.patterns import ComputationPattern
+from repro.core.chunking import FixedCountChunking, FixedSizeChunking
+from repro.core.overlap import resolve_overlap_request
 from repro.core.reporting import format_table, network_table, sweep_table, topology_table
-from repro.core.sweeps import run_bandwidth_sweep, run_topology_sweep
 from repro.dimemas.platform import Platform
 from repro.dimemas.topology import TOPOLOGIES, TopologySpec, split_topology_list
 from repro.dimemas.simulator import DimemasSimulator
 from repro.errors import ReproError
+from repro.experiments import Experiment, ExperimentSpec, run_experiment
 from repro.paraver.prv import export_prv
 from repro.tracing.trace import Trace
 
@@ -45,11 +50,11 @@ def _build_parser() -> argparse.ArgumentParser:
     trace = subparsers.add_parser("trace", help="trace an application model")
     _add_app_arguments(trace)
     trace.add_argument("--output", required=True, help="trace file to write (JSON)")
-    trace.add_argument("--overlap", choices=[p.value for p in ComputationPattern],
+    trace.add_argument("--overlap", choices=["real", "ideal"],
                        help="also apply the overlap transformation with this pattern")
-    trace.add_argument("--mechanism", default="full",
-                       choices=["full", "early-send", "late-receive"],
-                       help="overlapping mechanism for --overlap")
+    trace.add_argument("--mechanism", default=None,
+                       choices=["full", "early-send", "late-receive", "none"],
+                       help="overlapping mechanism for --overlap (default: full)")
 
     study = subparsers.add_parser(
         "study", help="trace, transform and replay one application")
@@ -78,6 +83,21 @@ def _build_parser() -> argparse.ArgumentParser:
                             "per-topology columns")
     _add_jobs_argument(sweep)
 
+    run = subparsers.add_parser(
+        "run", help="execute a declarative experiment spec file (JSON/TOML)")
+    run.add_argument("--spec", required=True,
+                     help="experiment spec file written by "
+                          "ExperimentSpec.to_file (.json or .toml)")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="override the spec's worker count "
+                          "(1 = serial, 0 = all cores)")
+    run.add_argument("--json", dest="json_output",
+                     help="write the tidy result rows (plus the spec) as JSON")
+    run.add_argument("--csv", dest="csv_output",
+                     help="write the tidy result rows as CSV")
+    run.add_argument("--quiet", action="store_true",
+                     help="only print the summary, not the per-cell tables")
+
     simulate = subparsers.add_parser(
         "simulate", help="replay a previously saved trace file")
     _add_platform_arguments(simulate)
@@ -99,6 +119,9 @@ def _add_app_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ranks", type=int, default=16, help="number of MPI ranks")
     parser.add_argument("--iterations", type=int, default=None,
                         help="number of iterations (model default if omitted)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload seed (generated workloads such as "
+                             "'random-exchange' only)")
     parser.add_argument("--chunk-bytes", type=int, default=16384,
                         help="chunk size of the overlap transformation (bytes)")
     parser.add_argument("--chunk-count", type=int, default=None,
@@ -146,36 +169,48 @@ def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
                         help="intra-node latency in seconds")
 
 
-def _make_app(args: argparse.Namespace):
-    overrides = {"num_ranks": args.ranks}
+# -- spec construction from flags ---------------------------------------------
+
+def _app_options(args: argparse.Namespace) -> dict:
+    options = {"num_ranks": args.ranks}
     if args.iterations is not None:
-        overrides["iterations"] = args.iterations
-    return create_application(args.app, **overrides)
+        options["iterations"] = args.iterations
+    if getattr(args, "seed", None) is not None:
+        options["seed"] = args.seed
+    return options
 
 
-def _make_environment(args: argparse.Namespace) -> OverlapStudyEnvironment:
+def _platform_options(args: argparse.Namespace) -> dict:
+    return {
+        "name": "cli",
+        "bandwidth_mbps": args.bandwidth,
+        "latency": args.latency,
+        "num_buses": args.buses,
+        "relative_cpu_speed": args.cpu_speed,
+        "eager_threshold": args.eager_threshold,
+        "topology": args.topology.to_string(),
+        "processors_per_node": args.processors_per_node,
+        "intranode_bandwidth_mbps": args.intranode_bandwidth,
+        "intranode_latency": args.intranode_latency,
+    }
+
+
+def _experiment_from_args(args: argparse.Namespace) -> Experiment:
+    """The spec builder every replaying subcommand starts from."""
+    builder = (Experiment.for_app(args.app, **_app_options(args))
+               .platform(**_platform_options(args))
+               .jobs(args.jobs))
     if getattr(args, "chunk_count", None):
-        chunking = FixedCountChunking(count=args.chunk_count)
+        builder.chunk_count(args.chunk_count)
     else:
-        chunking = FixedSizeChunking(chunk_bytes=getattr(args, "chunk_bytes", 16384))
-    platform = _make_platform(args)
-    return OverlapStudyEnvironment(platform=platform, chunking=chunking)
+        builder.chunk_bytes(getattr(args, "chunk_bytes", 16384))
+    return builder
 
 
 def _make_platform(args: argparse.Namespace) -> Platform:
     if not hasattr(args, "bandwidth"):
         return Platform()
-    return Platform(
-        name="cli",
-        bandwidth_mbps=args.bandwidth,
-        latency=args.latency,
-        num_buses=args.buses,
-        relative_cpu_speed=args.cpu_speed,
-        eager_threshold=args.eager_threshold,
-        topology=args.topology,
-        processors_per_node=args.processors_per_node,
-        intranode_bandwidth_mbps=args.intranode_bandwidth,
-        intranode_latency=args.intranode_latency)
+    return Platform(**_platform_options(args))
 
 
 # -- sub-commands ------------------------------------------------------------
@@ -192,15 +227,21 @@ def _cmd_list_apps(_args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.apps.registry import create_application
+
+    if args.mechanism is not None and not args.overlap:
+        raise ReproError(
+            "--mechanism selects the overlap mechanism and needs --overlap; "
+            "add e.g. '--overlap ideal' or drop --mechanism")
     environment = OverlapStudyEnvironment(
         chunking=FixedCountChunking(count=args.chunk_count)
         if args.chunk_count else FixedSizeChunking(chunk_bytes=args.chunk_bytes))
-    app = _make_app(args)
+    app = create_application(args.app, **_app_options(args))
     trace = environment.trace(app)
     if args.overlap:
-        trace = environment.overlap(
-            trace, pattern=ComputationPattern.from_label(args.overlap),
-            mechanism=OverlapMechanism.from_label(args.mechanism))
+        pattern, mechanism = resolve_overlap_request(
+            args.overlap, args.mechanism or "full")
+        trace = environment.overlap(trace, pattern=pattern, mechanism=mechanism)
     path = trace.save(args.output)
     info = trace.describe()
     print(f"wrote {path} ({info['records']} records, "
@@ -209,11 +250,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    environment = _make_environment(args)
-    app = _make_app(args)
-    study = environment.study(
-        app, mechanism=OverlapMechanism.from_label(args.mechanism),
-        jobs=args.jobs)
+    spec = _experiment_from_args(args).mechanism(args.mechanism).build()
+    result = run_experiment(spec, full_results=True)
+    study = result.studies()[args.app]
     print(study.summary())
     if args.gantt:
         print()
@@ -222,14 +261,14 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    environment = _make_environment(args)
-    app = _make_app(args)
-    bandwidths = geometric_bandwidths(args.min_bandwidth, args.max_bandwidth,
-                                      args.samples)
+    builder = _experiment_from_args(args)
+    builder.bandwidths(geometric_bandwidths(
+        args.min_bandwidth, args.max_bandwidth, args.samples))
     if args.topologies:
-        return _run_topology_sweep(args, app, bandwidths, environment)
-    sweep = run_bandwidth_sweep(app, bandwidths, environment=environment,
-                                jobs=args.jobs)
+        builder.topologies(split_topology_list(args.topologies))
+        return _print_topology_sweep(run_experiment(builder.build()))
+    result = run_experiment(builder.build())
+    sweep = result.sweep()
     print(sweep_table(sweep))
     print()
     print(network_table(sweep))
@@ -247,11 +286,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_topology_sweep(args: argparse.Namespace, app, bandwidths,
-                        environment) -> int:
-    topologies = split_topology_list(args.topologies)
-    sweeps = run_topology_sweep(app, topologies, bandwidths,
-                                environment=environment, jobs=args.jobs)
+def _print_topology_sweep(result) -> int:
+    sweeps = result.by_topology()
     print(topology_table(sweeps))
     for name, sweep in sweeps.items():
         print()
@@ -264,9 +300,38 @@ def _run_topology_sweep(args: argparse.Namespace, app, bandwidths,
     first = next(iter(sweeps.values()))
     wall = first.metadata.get("replay_wall_seconds")
     if wall is not None:
-        tasks = len(topologies) * len(bandwidths) * len(first.variants)
+        tasks = sum(len(sweep.points) for sweep in sweeps.values()) * \
+            len(first.variants)
         print(f"replayed {tasks} tasks with {first.metadata.get('jobs', 1)} "
               f"worker(s) in {wall:.2f} s")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_file(args.spec)
+    if args.jobs is not None:
+        spec = spec.with_jobs(args.jobs)
+    described = spec.describe()
+    print(f"loaded {args.spec}: {described['apps']} app(s) x "
+          f"{described['grid_points']} grid point(s) x "
+          f"{described['variants']} variant(s) = "
+          f"{described['replays']} replays (jobs={spec.jobs})")
+    result = run_experiment(spec)
+    if not args.quiet:
+        for cell in result.cells:
+            print()
+            coordinate = ", ".join(f"{key}={value}"
+                                   for key, value in cell.dims.as_dict().items())
+            print(f"-- {cell.app} [{coordinate}]")
+            print(sweep_table(cell.sweep))
+    print()
+    print(result.summary())
+    if args.json_output:
+        result.to_json(args.json_output)
+        print(f"wrote tidy rows to {args.json_output}")
+    if args.csv_output:
+        result.to_csv(args.csv_output)
+        print(f"wrote tidy rows to {args.csv_output}")
     return 0
 
 
@@ -318,6 +383,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "study": _cmd_study,
     "sweep": _cmd_sweep,
+    "run": _cmd_run,
     "simulate": _cmd_simulate,
     "profile": _cmd_profile,
 }

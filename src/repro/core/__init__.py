@@ -31,10 +31,11 @@ from repro.core.executor import SweepExecutor, SweepTask, SweepTaskResult
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.overlap import OverlapTransformer
 from repro.core.patterns import ComputationPattern
-from repro.core.study import OverlapStudy, run_batch_study
+from repro.core.study import OverlapStudy, batch_study, run_batch_study
 from repro.core.sweeps import run_bandwidth_sweep, run_mechanism_sweep, run_topology_sweep
 
 __all__ = [
+    "batch_study",
     "BandwidthSweep",
     "Chunk",
     "ChunkingPolicy",

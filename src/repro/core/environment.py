@@ -73,12 +73,13 @@ class OverlapStudyEnvironment:
               jobs: Optional[int] = None) -> OverlapStudy:
         """Trace, transform and replay ``app``; return the assembled study.
 
-        A thin wrapper over :func:`repro.core.study.run_batch_study` for a
-        single application, so every study entry point shares one pipeline
-        (including variant-label validation and the ``jobs`` worker pool).
+        A thin wrapper over :func:`repro.core.study.batch_study` for a
+        single application, so every study entry point shares the unified
+        experiment pipeline (including variant-label validation and the
+        ``jobs`` worker pool).
         """
-        from repro.core.study import run_batch_study
-        return run_batch_study(
+        from repro.core.study import batch_study
+        return batch_study(
             [app], patterns=patterns, mechanism=mechanism,
             environment=self, platform=platform or self.platform,
             jobs=jobs)[app.name]

@@ -18,7 +18,7 @@ sides compute identically.
 from __future__ import annotations
 
 from itertools import count as _counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.chunking import MAX_CHUNKS_PER_MESSAGE, Chunk, ChunkingPolicy, FixedSizeChunking
 from repro.core.mechanisms import OverlapMechanism
@@ -28,7 +28,7 @@ from repro.core.patterns import (
     consumption_points,
     production_points,
 )
-from repro.errors import TransformError
+from repro.errors import ConfigurationError, TransformError
 from repro.tracing.records import (
     CpuBurst,
     Record,
@@ -40,6 +40,34 @@ from repro.tracing.trace import RankTrace, Trace
 
 #: Multiplier used to derive collision-free chunk tags (see :func:`chunk_tag`).
 _TAG_STRIDE = 1_000_000
+
+
+def resolve_overlap_request(pattern: Union[str, ComputationPattern],
+                            mechanism: Union[str, OverlapMechanism]
+                            ) -> Tuple[ComputationPattern, OverlapMechanism]:
+    """Validate a requested (pattern, mechanism) combination up front.
+
+    Accepts labels or the enum members themselves and returns the resolved
+    pair.  Raises a clear :class:`ConfigurationError` (a ``ReproError``, so
+    the CLI reports it instead of crashing) for unknown labels and for
+    combinations that cannot produce an overlapped trace -- requesting an
+    overlap with the ``none`` mechanism would silently return the original
+    trace from deep inside the transform.
+    """
+    try:
+        if not isinstance(pattern, ComputationPattern):
+            pattern = ComputationPattern.from_label(pattern)
+        if not isinstance(mechanism, OverlapMechanism):
+            mechanism = OverlapMechanism.from_label(mechanism)
+    except ValueError as exc:
+        raise ConfigurationError(str(exc)) from None
+    if mechanism is OverlapMechanism.NONE:
+        raise ConfigurationError(
+            f"the {pattern.value!r} overlap pattern cannot be applied with "
+            f"mechanism 'none' (no partial sends or receives would be "
+            f"generated); choose 'full', 'early-send' or 'late-receive', "
+            f"or drop the overlap request")
+    return pattern, mechanism
 
 
 def chunk_tag(tag: int, pair_seq: int, chunk_index: int) -> int:

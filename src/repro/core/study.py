@@ -1,12 +1,16 @@
-"""Study objects: the assembled original-versus-overlapped comparison."""
+"""Study objects: the assembled original-versus-overlapped comparison.
+
+:class:`OverlapStudy` remains the one-application report object; the batch
+driver :func:`run_batch_study` is a deprecated adapter over the unified
+experiment API (see :mod:`repro.experiments`)."""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
-from repro.core.analysis import ORIGINAL
-from repro.core.executor import SweepExecutor, SweepTask, validate_variant_labels
+from repro.core.executor import validate_variant_labels
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.patterns import ComputationPattern
 from repro.dimemas.platform import Platform
@@ -95,66 +99,49 @@ def run_batch_study(apps: Sequence["ApplicationModel"],
                     jobs: Optional[int] = None) -> Dict[str, OverlapStudy]:
     """Assemble one :class:`OverlapStudy` per application.
 
-    Tracing and the overlap transformations run once per application in the
-    parent process; the replays (applications x variants) are expanded into
-    self-contained tasks and fanned out over a
-    :class:`~repro.core.executor.SweepExecutor` worker pool (serial with the
-    default ``jobs=1``).  Results are merged back in application order, so
-    parallel batches match serial ones exactly.
+    .. deprecated:: build an :class:`~repro.experiments.spec.ExperimentSpec`
+        and call :func:`~repro.experiments.runner.run_experiment` with
+        ``full_results=True``; :meth:`ExperimentResult.studies` returns the
+        same mapping.
+
+    The replays (applications x variants) run as one executor batch (serial
+    with the default ``jobs=1``); results are merged back in application
+    order, so parallel batches match serial ones exactly.
+    """
+    warnings.warn(
+        "run_batch_study is deprecated; build an ExperimentSpec and use "
+        "repro.experiments.run_experiment(..., full_results=True) instead",
+        DeprecationWarning, stacklevel=2)
+    return batch_study(apps, patterns=patterns, mechanism=mechanism,
+                       environment=environment, platform=platform, jobs=jobs)
+
+
+def batch_study(apps: Sequence["ApplicationModel"],
+                patterns: Iterable[ComputationPattern] = (
+                    ComputationPattern.REAL, ComputationPattern.IDEAL),
+                mechanism: OverlapMechanism = OverlapMechanism.FULL,
+                environment: Optional["OverlapStudyEnvironment"] = None,
+                platform: Optional[Platform] = None,
+                jobs: Optional[int] = None) -> Dict[str, OverlapStudy]:
+    """The :func:`run_batch_study` implementation, routed through the runner.
+
+    Also the non-deprecated path :meth:`OverlapStudyEnvironment.study` uses.
     """
     from repro.core.environment import OverlapStudyEnvironment
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.spec import ExperimentSpec
 
     environment = environment or OverlapStudyEnvironment(platform=platform)
-    base_platform = platform or environment.platform
     patterns = list(patterns)
-    pattern_labels = validate_variant_labels(
-        pattern.value for pattern in patterns)
+    validate_variant_labels(pattern.value for pattern in patterns)
     names = [app.name for app in apps]
     if len(set(names)) != len(names):
         raise AnalysisError(f"duplicate application names in batch: {names}")
-
-    traces: Dict[str, Trace] = {}
-    tasks: List[SweepTask] = []
-    original_traces: Dict[str, Trace] = {}
-    overlapped_traces: Dict[str, Dict[str, Trace]] = {}
-
-    def _add_task(app_name: str, variant: str, trace: Trace) -> None:
-        key = f"{app_name}/{variant}"
-        traces[key] = trace
-        tasks.append(SweepTask(
-            index=len(tasks), variant=variant, trace_key=key,
-            platform=base_platform, label=f"{app_name}:{variant}"))
-
-    for app in apps:
-        original = environment.trace(app)
-        original_traces[app.name] = original
-        overlapped_traces[app.name] = {}
-        _add_task(app.name, ORIGINAL, original)
-        for pattern, label in zip(patterns, pattern_labels):
-            overlapped = environment.overlap(
-                original, pattern=pattern, mechanism=mechanism)
-            overlapped_traces[app.name][label] = overlapped
-            _add_task(app.name, label, overlapped)
-
-    executor = SweepExecutor(jobs=jobs)
-    results = executor.execute(tasks, traces, full_results=True,
-                               simulator=environment.simulator)
-
-    studies: Dict[str, OverlapStudy] = {}
-    cursor = 0
-    for app in apps:
-        original_result = results[cursor]
-        cursor += 1
-        overlapped_results: Dict[str, SimulationResult] = {}
-        for label in pattern_labels:
-            overlapped_results[label] = results[cursor]
-            cursor += 1
-        studies[app.name] = OverlapStudy(
-            app_name=app.name,
-            platform=base_platform,
-            mechanism=mechanism,
-            original_trace=original_traces[app.name],
-            original_result=original_result,
-            overlapped_traces=overlapped_traces[app.name],
-            overlapped_results=overlapped_results)
-    return studies
+    spec = ExperimentSpec(
+        apps=tuple(names),
+        patterns=tuple(pattern.value for pattern in patterns),
+        mechanisms=(mechanism.label,),
+        jobs=1 if jobs is None else jobs)
+    result = run_experiment(spec, environment=environment, platform=platform,
+                            apps=list(apps), full_results=True)
+    return result.studies()

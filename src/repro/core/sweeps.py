@@ -1,36 +1,47 @@
-"""Parameter-sweep drivers.
+"""Parameter-sweep drivers (deprecated adapters).
 
-A bandwidth sweep traces the application once, transforms the trace once per
-computation pattern, and replays every variant across the requested
-bandwidths.  That mirrors the paper's methodology: a single real run feeds
-the tracer, and Dimemas replays the resulting traces on many configurable
-platforms.
+.. deprecated::
+    These drivers predate the unified experiment API and are kept as thin
+    adapters so existing callers keep working; new code should build an
+    :class:`~repro.experiments.spec.ExperimentSpec` (directly, fluently via
+    :class:`~repro.experiments.Experiment`, or from a JSON/TOML file) and
+    call :func:`~repro.experiments.runner.run_experiment`.
 
-The replays themselves are independent, so the drivers hand the expanded
-(variant x platform) grid to a :class:`repro.core.executor.SweepExecutor`,
-which runs it serially by default or on ``jobs`` worker processes with
-bit-identical results.  :func:`run_topology_sweep` widens the grid with a
-topology axis (flat bus, hierarchical tree, 2-D torus), replaying the same
-traced run on structurally different interconnects.
+Each adapter constructs the equivalent spec and routes through the one
+runner; results are bit-identical to the historical implementations
+(``jobs > 1`` included), which the golden-equivalence tests in
+``tests/experiments/test_equivalence.py`` pin.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING, Union
+import warnings
+from typing import Dict, Iterable, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.core.analysis import ORIGINAL, BandwidthSweep
-from repro.core.executor import SweepExecutor, validate_variant_labels
+from repro.core.executor import validate_variant_labels
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.patterns import ComputationPattern
 from repro.dimemas.platform import Platform
 from repro.dimemas.topology import TopologySpec
 from repro.errors import AnalysisError
-from repro.tracing.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import ApplicationModel
     from repro.core.environment import OverlapStudyEnvironment
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; build an ExperimentSpec and use "
+        f"repro.experiments.run_experiment instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def _adapter_environment(environment: Optional["OverlapStudyEnvironment"],
+                         platform: Optional[Platform]) -> "OverlapStudyEnvironment":
+    from repro.core.environment import OverlapStudyEnvironment
+    return environment or OverlapStudyEnvironment(platform=platform)
 
 
 def run_bandwidth_sweep(app: "ApplicationModel",
@@ -43,40 +54,29 @@ def run_bandwidth_sweep(app: "ApplicationModel",
                         jobs: Optional[int] = None) -> BandwidthSweep:
     """Sweep the network bandwidth for one application.
 
+    .. deprecated:: use ``Experiment.for_app(...).bandwidths(...).run()``.
+
     Returns a :class:`BandwidthSweep` whose variants are ``original`` plus
     one entry per requested pattern (labelled by the pattern value).  With
     ``jobs`` > 1 the replays run on a worker pool; the result is identical
     to the serial sweep.
     """
-    from repro.core.environment import OverlapStudyEnvironment
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.spec import ExperimentSpec
 
-    environment = environment or OverlapStudyEnvironment(platform=platform)
-    base_platform = platform or environment.platform
+    _deprecated("run_bandwidth_sweep")
     patterns = list(patterns)
     validate_variant_labels(pattern.value for pattern in patterns)
-
-    original = environment.trace(app)
-    variants: Dict[str, Trace] = {ORIGINAL: original}
-    for pattern in patterns:
-        variants[pattern.value] = environment.overlap(
-            original, pattern=pattern, mechanism=mechanism)
-
-    executor = SweepExecutor(jobs=jobs)
-    points, wall_seconds = executor.run_sweep(
-        variants, base_platform, bandwidths_mbps, app_name=app.name,
-        simulator=environment.simulator)
-    return BandwidthSweep(
-        app_name=app.name,
-        variants=list(variants),
-        points=points,
-        metadata={
-            "mechanism": mechanism.label,
-            "chunking": environment.chunking.describe(),
-            "num_ranks": app.num_ranks,
-            "platform": base_platform.name,
-            "jobs": executor.jobs,
-            "replay_wall_seconds": wall_seconds,
-        })
+    environment = _adapter_environment(environment, platform)
+    spec = ExperimentSpec(
+        apps=(app.name,),
+        bandwidths=tuple(bandwidths_mbps),
+        patterns=tuple(pattern.value for pattern in patterns),
+        mechanisms=(mechanism.label,),
+        jobs=1 if jobs is None else jobs)
+    result = run_experiment(spec, environment=environment, platform=platform,
+                            apps=[app])
+    return result.sweep()
 
 
 def run_topology_sweep(app: "ApplicationModel",
@@ -90,68 +90,35 @@ def run_topology_sweep(app: "ApplicationModel",
                        jobs: Optional[int] = None) -> Dict[str, BandwidthSweep]:
     """Replay one traced run across topologies x bandwidths x variants.
 
-    The application is traced (and overlapped) exactly once; the whole
-    topology x bandwidth grid is expanded into one task list and executed in
-    a single :class:`SweepExecutor` pass, so a multi-process pool is shared
-    across topologies.  Returns one :class:`BandwidthSweep` per topology,
-    keyed by the topology's string form, each bit-identical to the sweep a
-    serial run on that topology alone would produce.  Because the grid is
-    executed as one batch, every sweep's ``replay_wall_seconds`` metadata
-    is the wall time of the *whole* grid, not of that topology's share.
-    """
-    from repro.core.environment import OverlapStudyEnvironment
+    .. deprecated:: use ``Experiment.for_app(...).topologies(...).run()``.
 
+    Returns one :class:`BandwidthSweep` per topology, keyed by the
+    topology's string form.  The whole grid runs as one executor batch, so
+    every sweep's ``replay_wall_seconds`` metadata is the wall time of the
+    *whole* grid, not of that topology's share.
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.spec import ExperimentSpec
+
+    _deprecated("run_topology_sweep")
     if not topologies:
         raise AnalysisError("topology sweep needs at least one topology")
-    specs = [TopologySpec.parse(topology) for topology in topologies]
-    keys = [spec.to_string() for spec in specs]
+    keys = [TopologySpec.parse(topology).to_string() for topology in topologies]
     if len(set(keys)) != len(keys):
         raise AnalysisError(f"duplicate topologies in sweep: {keys}")
-
-    environment = environment or OverlapStudyEnvironment(platform=platform)
-    base_platform = platform or environment.platform
     patterns = list(patterns)
     validate_variant_labels(pattern.value for pattern in patterns)
-
-    original = environment.trace(app)
-    variants: Dict[str, Trace] = {ORIGINAL: original}
-    for pattern in patterns:
-        variants[pattern.value] = environment.overlap(
-            original, pattern=pattern, mechanism=mechanism)
-
-    platforms: List[Platform] = []
-    for spec in specs:
-        topology_platform = base_platform.with_topology(spec)
-        platforms.extend(topology_platform.with_bandwidth(bandwidth)
-                         for bandwidth in bandwidths_mbps)
-
-    executor = SweepExecutor(jobs=jobs)
-    tasks = executor.expand(variants, platforms, app_name=app.name)
-    start = time.perf_counter()
-    results = executor.execute(tasks, variants, simulator=environment.simulator)
-    wall_seconds = time.perf_counter() - start
-
-    points_per_topology = len(bandwidths_mbps)
-    sweeps: Dict[str, BandwidthSweep] = {}
-    for index, (spec, key) in enumerate(zip(specs, keys)):
-        first = index * points_per_topology
-        subset = [result for result in results
-                  if first <= result.point < first + points_per_topology]
-        sweeps[key] = BandwidthSweep(
-            app_name=app.name,
-            variants=list(variants),
-            points=executor.merge(subset),
-            metadata={
-                "mechanism": mechanism.label,
-                "chunking": environment.chunking.describe(),
-                "num_ranks": app.num_ranks,
-                "platform": base_platform.name,
-                "topology": key,
-                "topologies": keys,
-                "jobs": executor.jobs,
-                "replay_wall_seconds": wall_seconds,
-            })
-    return sweeps
+    environment = _adapter_environment(environment, platform)
+    spec = ExperimentSpec(
+        apps=(app.name,),
+        topologies=tuple(keys),
+        bandwidths=tuple(bandwidths_mbps),
+        patterns=tuple(pattern.value for pattern in patterns),
+        mechanisms=(mechanism.label,),
+        jobs=1 if jobs is None else jobs)
+    result = run_experiment(spec, environment=environment, platform=platform,
+                            apps=[app])
+    return result.by_topology()
 
 
 def run_mechanism_sweep(app: "ApplicationModel",
@@ -166,25 +133,28 @@ def run_mechanism_sweep(app: "ApplicationModel",
                         jobs: Optional[int] = None) -> Dict[str, float]:
     """Speedup of each overlapping mechanism at a fixed bandwidth.
 
+    .. deprecated:: use ``Experiment.for_app(...).mechanisms(...).run()``.
+
     Returns a mapping ``mechanism label -> speedup over the original``.
     """
-    from repro.core.environment import OverlapStudyEnvironment
+    from repro.experiments.runner import run_experiment
+    from repro.experiments.spec import ExperimentSpec
 
-    environment = environment or OverlapStudyEnvironment(platform=platform)
-    base_platform = (platform or environment.platform).with_bandwidth(bandwidth_mbps)
+    _deprecated("run_mechanism_sweep")
     labels = validate_variant_labels(
         mechanism.label for mechanism in mechanisms)
-
-    original = environment.trace(app)
-    variants: Dict[str, Trace] = {ORIGINAL: original}
-    for mechanism, label in zip(mechanisms, labels):
-        variants[label] = environment.overlap(
-            original, pattern=pattern, mechanism=mechanism)
-
-    executor = SweepExecutor(jobs=jobs)
-    tasks = executor.expand(variants, [base_platform], app_name=app.name)
-    results = executor.execute(tasks, variants,
-                               simulator=environment.simulator)
-    times = {result.variant: result.total_time for result in results}
-    original_time = times[ORIGINAL]
-    return {label: original_time / times[label] for label in labels}
+    environment = _adapter_environment(environment, platform)
+    spec = ExperimentSpec(
+        apps=(app.name,),
+        bandwidths=(bandwidth_mbps,),
+        patterns=(pattern.value,),
+        mechanisms=tuple(labels),
+        jobs=1 if jobs is None else jobs)
+    result = run_experiment(spec, environment=environment, platform=platform,
+                            apps=[app])
+    point = result.sweep().points[0]
+    # The runner labels a lone overlapped variant by its pattern value, so
+    # map positionally back onto the requested mechanism labels.
+    variants = [v for v in result.variants if v != ORIGINAL]
+    return {label: point.time(ORIGINAL) / point.time(variant)
+            for label, variant in zip(labels, variants)}

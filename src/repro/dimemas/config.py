@@ -24,8 +24,10 @@ from typing import Dict, Union
 from repro.dimemas.platform import Platform
 from repro.errors import ConfigurationError
 
-#: Fields of :class:`Platform` that the config file may set, with their types.
-_FIELDS = {
+#: Fields of :class:`Platform` that config files and experiment specs may
+#: set, with their types.  Shared with ``repro.experiments.spec`` so the two
+#: serialized platform forms can never drift apart.
+PLATFORM_FIELDS = {
     "name": str,
     "relative_cpu_speed": float,
     "latency": float,
@@ -43,6 +45,9 @@ _FIELDS = {
     # parses it back into a TopologySpec.
     "topology": str,
 }
+
+#: Backwards-compatible private alias.
+_FIELDS = PLATFORM_FIELDS
 
 
 def platform_to_config(platform: Platform) -> str:

@@ -136,6 +136,14 @@ class Platform:
         """A copy of this platform with a different relative CPU speed."""
         return replace(self, relative_cpu_speed=relative_cpu_speed)
 
+    def with_eager_threshold(self, eager_threshold: int) -> "Platform":
+        """A copy of this platform with a different eager/rendezvous threshold."""
+        return replace(self, eager_threshold=eager_threshold)
+
+    def with_processors_per_node(self, processors_per_node: int) -> "Platform":
+        """A copy of this platform with a different rank-to-node mapping."""
+        return replace(self, processors_per_node=processors_per_node)
+
     def with_mpi_overhead(self, mpi_overhead: float) -> "Platform":
         """A copy of this platform that charges a per-MPI-call CPU overhead."""
         return replace(self, mpi_overhead=mpi_overhead)

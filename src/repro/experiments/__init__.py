@@ -1,0 +1,43 @@
+"""The unified declarative experiment API: one spec, one runner, one result.
+
+The paper's methodology -- trace once, replay on many configurable
+platforms -- used to surface through several parallel driver functions,
+each with its own argument plumbing and return shape.  This package
+replaces them with a single composable entry point:
+
+* :class:`~repro.experiments.spec.ExperimentSpec` -- a declarative,
+  serializable (JSON/TOML) description of one experiment: the app(s), the
+  platform grid (bandwidth / latency / topology / node-mapping /
+  eager-threshold / CPU-speed axes), the overlap variants (pattern and
+  mechanism axes) and execution options (``jobs``, workload ``seeds``);
+* :class:`~repro.experiments.builder.Experiment` -- a fluent builder that
+  produces the same specs programmatically;
+* :func:`~repro.experiments.runner.run_experiment` -- the one runner that
+  expands any spec into a single task cross-product over the shared
+  :class:`~repro.core.executor.SweepExecutor`;
+* :class:`~repro.experiments.result.ExperimentResult` -- the typed result:
+  per-cell bandwidth sweeps, tidy row/JSON/CSV exports and accessors the
+  :mod:`repro.core.reporting` tables consume directly.
+
+The legacy drivers (``run_bandwidth_sweep``, ``run_topology_sweep``,
+``run_batch_study``, the ablation helpers) remain as thin deprecated
+adapters over this package and stay bit-identical to their historical
+results, ``jobs > 1`` included.
+"""
+
+from repro.experiments.builder import Experiment, log_spaced
+from repro.experiments.result import CellDims, ExperimentCell, ExperimentResult
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import CHUNKING_POLICIES, ExperimentSpec, load_spec
+
+__all__ = [
+    "CHUNKING_POLICIES",
+    "CellDims",
+    "Experiment",
+    "ExperimentCell",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "load_spec",
+    "log_spaced",
+    "run_experiment",
+]

@@ -1,0 +1,153 @@
+"""Minimal TOML reading/writing for experiment-spec files.
+
+Experiment specs are flat: a handful of top-level tables whose values are
+strings, numbers, booleans or single-line arrays of those.  Reading prefers
+the standard-library ``tomllib`` (Python 3.11+); on older interpreters a
+small fallback parser handles exactly the subset :func:`dumps` emits, so
+spec files round-trip on every supported Python without third-party
+dependencies.  Writing is always the local emitter -- the standard library
+has no TOML writer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+try:  # pragma: no cover - exercised indirectly on 3.11+
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+    _tomllib = None
+
+
+class TomlError(ValueError):
+    """A spec file is not valid (subset-)TOML."""
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse TOML text into nested dictionaries."""
+    if _tomllib is not None:
+        try:
+            return _tomllib.loads(text)
+        except _tomllib.TOMLDecodeError as exc:
+            raise TomlError(str(exc)) from exc
+    return _fallback_loads(text)
+
+
+def dumps(data: Dict[str, Dict[str, Any]]) -> str:
+    """Render a two-level ``{table: {key: value}}`` mapping as TOML text."""
+    lines: List[str] = []
+    for table, values in data.items():
+        if not isinstance(values, dict):
+            raise TomlError(f"top-level value of {table!r} must be a table")
+        if lines:
+            lines.append("")
+        lines.append(f"[{table}]")
+        for key, value in values.items():
+            lines.append(f"{key} = {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and (value != value or value in
+                                         (float("inf"), float("-inf"))):
+            raise TomlError(f"cannot serialise non-finite float {value!r}")
+        return repr(value)
+    if isinstance(value, str):
+        # json string syntax is a valid TOML basic string for our content.
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    raise TomlError(f"cannot serialise {type(value).__name__} value {value!r}")
+
+
+# -- fallback parser (Python < 3.11) -----------------------------------------
+
+def _fallback_loads(text: str) -> Dict[str, Any]:
+    root: Dict[str, Any] = {}
+    table = root
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not name or name.startswith("["):
+                raise TomlError(f"line {line_number}: unsupported table {line!r}")
+            table = root.setdefault(name, {})
+            continue
+        key, sep, raw_value = line.partition("=")
+        if not sep:
+            raise TomlError(f"line {line_number}: expected 'key = value', got {raw_line!r}")
+        key = key.strip().strip('"')
+        try:
+            table[key] = _parse_value(raw_value.strip())
+        except TomlError as exc:
+            raise TomlError(f"line {line_number}: {exc}") from None
+    return root
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    escaped = False
+    for index, char in enumerate(line):
+        if escaped:
+            escaped = False
+        elif in_string and char == "\\":
+            escaped = True
+        elif char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _parse_value(text: str) -> Any:
+    if not text:
+        raise TomlError("empty value")
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_value(item.strip()) for item in _split_items(inner)]
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TomlError(f"bad string {text!r}") from exc
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise TomlError(f"cannot parse value {text!r}") from None
+
+
+def _split_items(inner: str) -> List[str]:
+    items: List[str] = []
+    current: List[str] = []
+    in_string = False
+    escaped = False
+    for char in inner:
+        if escaped:
+            escaped = False
+        elif in_string and char == "\\":
+            escaped = True
+        elif char == '"':
+            in_string = not in_string
+        if char == "," and not in_string:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    items.append("".join(current))
+    return items

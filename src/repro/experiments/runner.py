@@ -1,0 +1,325 @@
+"""One runner for every experiment shape.
+
+:func:`run_experiment` is the single execution path behind the legacy sweep
+and study drivers, the CLI and the fluent builder: it expands an
+:class:`~repro.experiments.spec.ExperimentSpec` into the full
+(apps x platform grid x variants) task cross-product, executes it in one
+:class:`~repro.core.executor.SweepExecutor` pass (so a worker pool is shared
+across every axis), and folds the task results back into an
+:class:`~repro.experiments.result.ExperimentResult`.
+
+Grid expansion order is part of the contract: topology is the outermost
+axis, then node mapping, latency, eager threshold and CPU speed, with
+bandwidth innermost.  A spec that only sweeps bandwidth therefore produces
+exactly the platform list of the legacy ``run_bandwidth_sweep``, and a spec
+that sweeps topologies x bandwidths produces exactly the list of
+``run_topology_sweep`` -- which is what keeps the new API bit-identical to
+the old drivers (the golden-equivalence tests pin this).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.analysis import BandwidthSweep, ORIGINAL
+from repro.core.chunking import ChunkingPolicy, FixedCountChunking, FixedSizeChunking
+from repro.core.executor import SweepExecutor, SweepTask, SweepTaskResult, validate_variant_labels
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.patterns import ComputationPattern
+from repro.dimemas.platform import Platform
+from repro.dimemas.results import SimulationResult
+from repro.errors import AnalysisError
+from repro.experiments.result import CellDims, ExperimentCell, ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+from repro.tracing.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import ApplicationModel
+    from repro.core.environment import OverlapStudyEnvironment
+
+
+@dataclass(frozen=True)
+class VariantPlan:
+    """One overlapped variant: its sweep label and how to generate it."""
+
+    label: str
+    pattern: ComputationPattern
+    mechanism: OverlapMechanism
+
+
+def variant_plans(spec: ExperimentSpec) -> List[VariantPlan]:
+    """The overlapped variants of a spec, in pattern-major order.
+
+    Labels follow the legacy drivers so existing reports keep working: with
+    a single mechanism the label is the pattern value (bandwidth sweeps),
+    with a single pattern and several mechanisms it is the mechanism label
+    (mechanism sweeps), and with both axes swept it is ``pattern+mechanism``.
+    """
+    patterns = [ComputationPattern.from_label(p) for p in spec.patterns]
+    mechanisms = [OverlapMechanism.from_label(m) for m in spec.mechanisms]
+    plans = []
+    for pattern in patterns:
+        for mechanism in mechanisms:
+            if len(mechanisms) == 1:
+                label = pattern.value
+            elif len(patterns) == 1:
+                label = mechanism.label
+            else:
+                label = f"{pattern.value}+{mechanism.label}"
+            plans.append(VariantPlan(label, pattern, mechanism))
+    validate_variant_labels(plan.label for plan in plans)
+    return plans
+
+
+def build_chunking(spec: ExperimentSpec) -> ChunkingPolicy:
+    """The chunking policy a spec's ``[chunking]`` section describes."""
+    options = spec.chunking_dict()
+    policy = options.pop("policy", "fixed-size")
+    if policy == "fixed-count":
+        return FixedCountChunking(**options)
+    return FixedSizeChunking(**options)
+
+
+def build_platform(spec: ExperimentSpec) -> Platform:
+    """The base platform a spec's ``[platform]`` section describes."""
+    return Platform(**spec.platform_dict())
+
+
+def build_environment(spec: ExperimentSpec) -> "OverlapStudyEnvironment":
+    """A study environment configured from the spec's platform and chunking."""
+    from repro.core.environment import OverlapStudyEnvironment
+    return OverlapStudyEnvironment(platform=build_platform(spec),
+                                   chunking=build_chunking(spec))
+
+
+def create_apps(spec: ExperimentSpec) -> List[Tuple[str, "ApplicationModel"]]:
+    """Instantiate the spec's apps (seed-expanded) as ``(label, app)`` pairs."""
+    options = spec.app_options_dict()
+    pairs: List[Tuple[str, "ApplicationModel"]] = []
+    for name in spec.apps:
+        if spec.seeds:
+            for seed in spec.seeds:
+                pairs.append((f"{name}@seed={seed}",
+                              _create(name, dict(options, seed=seed))))
+        else:
+            pairs.append((name, _create(name, options)))
+    return pairs
+
+
+def _create(name: str, options: Dict[str, object]) -> "ApplicationModel":
+    from repro.apps.registry import create_application
+
+    return create_application(name, **options)
+
+
+def expand_grid(spec: ExperimentSpec, base: Platform
+                ) -> Tuple[List[CellDims], List[Platform], int]:
+    """Expand the platform grid: cells, flat platform list, points per cell.
+
+    A *cell* fixes every axis but bandwidth; its platforms occupy one
+    contiguous slice of the flat list, ``points_per_cell`` long, so task
+    ``point`` ordinals map back to cells by integer division.
+    """
+    topologies = spec.topologies or (base.topology.to_string(),)
+    node_mappings = spec.node_mappings or (base.processors_per_node,)
+    latencies = spec.latencies or (base.latency,)
+    eager_thresholds = spec.eager_thresholds or (base.eager_threshold,)
+    cpu_speeds = spec.cpu_speeds or (base.relative_cpu_speed,)
+    bandwidths = spec.bandwidths or (base.bandwidth_mbps,)
+
+    cells: List[CellDims] = []
+    platforms: List[Platform] = []
+    for topology in topologies:
+        on_topology = base.with_topology(topology)
+        for node_mapping in node_mappings:
+            mapped = on_topology.with_processors_per_node(node_mapping)
+            for latency in latencies:
+                with_latency = mapped.with_latency(latency)
+                for eager in eager_thresholds:
+                    with_eager = with_latency.with_eager_threshold(eager)
+                    for cpu_speed in cpu_speeds:
+                        cell_platform = with_eager.with_cpu_speed(cpu_speed)
+                        cells.append(CellDims(
+                            topology=topology,
+                            processors_per_node=node_mapping,
+                            latency=latency,
+                            eager_threshold=eager,
+                            cpu_speed=cpu_speed))
+                        platforms.extend(cell_platform.with_bandwidth(bandwidth)
+                                         for bandwidth in bandwidths)
+    return cells, platforms, len(bandwidths)
+
+
+def _task_label(app_label: str, variant: str, platform: Platform) -> str:
+    label = f"{app_label}:{variant}@{platform.bandwidth_mbps}MBps"
+    if platform.topology.kind != "flat":
+        label += f"/{platform.topology.kind}"
+    return label
+
+
+def _metrics_from_result(task: SweepTask, result: SimulationResult) -> SweepTaskResult:
+    """Scalar metrics of an already-replayed task (full-results mode)."""
+    network = result.network
+    return SweepTaskResult(
+        index=task.index,
+        variant=task.variant,
+        bandwidth_mbps=task.platform.bandwidth_mbps,
+        total_time=result.total_time,
+        communication_fraction=result.communication_fraction(),
+        max_compute_time=result.max_compute_time(),
+        elapsed_seconds=0.0,
+        worker_pid=os.getpid(),
+        point=task.point,
+        topology=task.platform.topology.kind,
+        transfers=network.get("transfers", 0),
+        bytes_transferred=network.get("bytes_transferred", 0),
+        mean_queue_time=network.get("mean_queue_time", 0.0),
+        mean_transfer_time=network.get("mean_transfer_time", 0.0),
+        intranode_share=network.get("intranode_share", 0.0))
+
+
+def run_experiment(spec: ExperimentSpec,
+                   environment: Optional["OverlapStudyEnvironment"] = None,
+                   platform: Optional[Platform] = None,
+                   apps: Optional[Sequence["ApplicationModel"]] = None,
+                   full_results: bool = False) -> ExperimentResult:
+    """Execute ``spec`` and return the typed result.
+
+    ``environment``, ``platform`` and ``apps`` are injection points for the
+    legacy adapters (which receive already-built objects); when omitted,
+    everything is constructed from the spec.  With ``full_results`` the
+    replays additionally ship whole :class:`SimulationResult` objects back
+    (timelines included), which :meth:`ExperimentResult.studies` needs --
+    metric rows then carry no per-task timing.
+    """
+    plans = variant_plans(spec)
+    if environment is None:
+        environment = build_environment(spec)
+    base_platform = platform or environment.platform
+
+    if apps is not None:
+        app_pairs = [(app.name, app) for app in apps]
+    else:
+        app_pairs = create_apps(spec)
+    labels = [label for label, _ in app_pairs]
+    if len(set(labels)) != len(labels):
+        raise AnalysisError(f"duplicate application names in batch: {labels}")
+
+    cells, flat_platforms, points_per_cell = expand_grid(spec, base_platform)
+    total_points = len(flat_platforms)
+
+    traces: Dict[str, Trace] = {}
+    tasks: List[SweepTask] = []
+    original_traces: Dict[str, Trace] = {}
+    overlapped_traces: Dict[str, Dict[str, Trace]] = {}
+    variant_labels = [ORIGINAL] + [plan.label for plan in plans]
+
+    for app_index, (app_label, app) in enumerate(app_pairs):
+        original = environment.trace(app)
+        original_traces[app_label] = original
+        overlapped_traces[app_label] = {}
+        app_variants: Dict[str, Trace] = {ORIGINAL: original}
+        for plan in plans:
+            overlapped = environment.overlap(
+                original, pattern=plan.pattern, mechanism=plan.mechanism)
+            overlapped_traces[app_label][plan.label] = overlapped
+            app_variants[plan.label] = overlapped
+        for key, trace in app_variants.items():
+            traces[f"{app_label}/{key}"] = trace
+        for offset, task_platform in enumerate(flat_platforms):
+            for key in app_variants:
+                tasks.append(SweepTask(
+                    index=len(tasks),
+                    variant=key,
+                    trace_key=f"{app_label}/{key}",
+                    platform=task_platform,
+                    label=_task_label(app_label, key, task_platform),
+                    point=app_index * total_points + offset))
+
+    executor = SweepExecutor(jobs=spec.jobs)
+    start = time.perf_counter()
+    raw = executor.execute(tasks, traces, full_results=full_results,
+                           simulator=environment.simulator)
+    wall_seconds = time.perf_counter() - start
+    if full_results:
+        simulation_results: Optional[Tuple[SimulationResult, ...]] = tuple(raw)
+        task_results = [_metrics_from_result(task, result)
+                        for task, result in zip(tasks, raw)]
+    else:
+        simulation_results = None
+        task_results = list(raw)
+
+    mechanism_label = "+".join(spec.mechanisms)
+    topology_keys = [cell.topology for cell in cells]
+    metadata = {
+        "mechanism": mechanism_label,
+        "chunking": environment.chunking.describe(),
+        "platform": base_platform.name,
+        "jobs": executor.jobs,
+        "replay_wall_seconds": wall_seconds,
+    }
+
+    result_cells: List[ExperimentCell] = []
+    num_variants = len(variant_labels)
+    for app_index, (app_label, app) in enumerate(app_pairs):
+        app_base = app_index * total_points * num_variants
+        for cell_index, dims in enumerate(cells):
+            # Tasks are emitted point-major, variant-minor, apps contiguous,
+            # so a cell's results occupy one contiguous slice.
+            first = app_base + cell_index * points_per_cell * num_variants
+            subset = task_results[first:first + points_per_cell * num_variants]
+            sweep = BandwidthSweep(
+                app_name=app_label,
+                variants=list(variant_labels),
+                points=executor.merge(subset),
+                metadata={
+                    **metadata,
+                    "num_ranks": app.num_ranks,
+                    "topology": dims.topology,
+                    "topologies": list(dict.fromkeys(topology_keys)),
+                })
+            result_cells.append(ExperimentCell(app=app_label, dims=dims,
+                                               sweep=sweep))
+
+    studies = None
+    if full_results and total_points == 1 and len(spec.mechanisms) == 1:
+        studies = _assemble_studies(
+            app_pairs, plans, simulation_results, base_platform,
+            original_traces, overlapped_traces,
+            OverlapMechanism.from_label(spec.mechanisms[0]))
+
+    return ExperimentResult(
+        spec=spec,
+        variants=variant_labels,
+        cells=tuple(result_cells),
+        metadata={**metadata, "apps": labels,
+                  "grid_points": total_points},
+        simulation_results=simulation_results,
+        studies_by_app=studies)
+
+
+def _assemble_studies(app_pairs, plans, results, base_platform,
+                      original_traces, overlapped_traces, mechanism):
+    """Fold full per-task results into one legacy study per application."""
+    from repro.core.study import OverlapStudy
+
+    per_app = 1 + len(plans)
+    studies: Dict[str, OverlapStudy] = {}
+    for app_index, (app_label, app) in enumerate(app_pairs):
+        cursor = app_index * per_app
+        original_result = results[cursor]
+        overlapped_results = {
+            plan.label: results[cursor + 1 + offset]
+            for offset, plan in enumerate(plans)}
+        studies[app_label] = OverlapStudy(
+            app_name=app_label,
+            platform=base_platform,
+            mechanism=mechanism,
+            original_trace=original_traces[app_label],
+            original_result=original_result,
+            overlapped_traces=overlapped_traces[app_label],
+            overlapped_results=overlapped_results)
+    return studies

@@ -48,3 +48,20 @@ class TestMechanismSweepValidation:
                 small_bt, 100.0,
                 mechanisms=(OverlapMechanism.FULL, OverlapMechanism.FULL),
                 environment=environment)
+
+
+class TestMechanismSweepSingleMechanism:
+    def test_single_mechanism_keeps_its_label(self, small_bt, environment):
+        """Regression: a lone mechanism must map back onto its own label.
+
+        The unified runner labels a lone overlapped variant by the pattern
+        value; the adapter has to translate that back to the mechanism label
+        the legacy API returns.
+        """
+        from repro.core import OverlapMechanism
+
+        speedups = run_mechanism_sweep(
+            small_bt, 100.0, mechanisms=(OverlapMechanism.FULL,),
+            environment=environment)
+        assert set(speedups) == {"full"}
+        assert speedups["full"] > 0

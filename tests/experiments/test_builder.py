@@ -1,0 +1,75 @@
+"""Tests for the fluent experiment builder."""
+
+import pytest
+
+from repro.core.analysis import geometric_bandwidths
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.patterns import ComputationPattern
+from repro.errors import ConfigurationError
+from repro.experiments import Experiment, ExperimentSpec, log_spaced
+
+
+class TestBuilder:
+    def test_builder_matches_direct_construction(self):
+        built = (Experiment.for_app("nas-bt", num_ranks=8, iterations=2)
+                 .bandwidths(10.0, 100.0)
+                 .topologies("flat", "tree:radix=8")
+                 .patterns(ComputationPattern.REAL, ComputationPattern.IDEAL)
+                 .mechanism(OverlapMechanism.FULL)
+                 .chunk_count(4)
+                 .jobs(2)
+                 .build())
+        direct = ExperimentSpec(
+            apps=("nas-bt",),
+            app_options={"num_ranks": 8, "iterations": 2},
+            bandwidths=(10.0, 100.0),
+            topologies=("flat", "tree:radix=8"),
+            patterns=("real", "ideal"),
+            mechanisms=("full",),
+            chunking={"policy": "fixed-count", "count": 4,
+                      "min_chunk_bytes": 256},
+            jobs=2)
+        assert built == direct
+
+    def test_builder_matches_loaded_file(self, tmp_path):
+        built = (Experiment.for_app("sancho-loop", num_ranks=4)
+                 .bandwidths(log_spaced(2, 20000, 5))
+                 .platform(latency=1e-6)
+                 .build())
+        path = built.to_file(tmp_path / "spec.toml")
+        assert ExperimentSpec.from_file(path) == built
+
+    def test_varargs_and_iterables_are_equivalent(self):
+        a = Experiment.for_app("x").bandwidths(1.0, 2.0).build()
+        b = Experiment.for_app("x").bandwidths([1.0, 2.0]).build()
+        assert a == b
+
+    def test_log_spaced_is_the_paper_sweep_shape(self):
+        assert log_spaced(2, 20000, 9) == geometric_bandwidths(2, 20000, 9)
+
+    def test_string_and_enum_variants_are_equivalent(self):
+        by_enum = (Experiment.for_app("x")
+                   .patterns(ComputationPattern.IDEAL)
+                   .mechanisms(OverlapMechanism.EARLY_SEND,
+                               OverlapMechanism.FULL).build())
+        by_label = (Experiment.for_app("x").patterns("ideal")
+                    .mechanisms("early-send", "full").build())
+        assert by_enum == by_label
+
+    def test_platform_and_app_options_accumulate(self):
+        spec = (Experiment.for_app("x", num_ranks=4)
+                .app_options(iterations=3)
+                .platform(bandwidth_mbps=100.0)
+                .platform(latency=1e-6)
+                .build())
+        assert spec.app_options_dict() == {"num_ranks": 4, "iterations": 3}
+        assert spec.platform_dict() == {"bandwidth_mbps": 100.0,
+                                        "latency": 1e-6}
+
+    def test_seeds(self):
+        spec = Experiment.for_app("random-exchange").seeds(1, 2, 3).build()
+        assert spec.seeds == (1, 2, 3)
+
+    def test_build_validates(self):
+        with pytest.raises(ConfigurationError):
+            Experiment.for_app("x").patterns("bogus").build()

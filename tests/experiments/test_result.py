@@ -1,0 +1,121 @@
+"""Tests for the typed experiment result: accessors and tidy exports."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments import Experiment, run_experiment
+from repro.experiments.result import NETWORK_COLUMNS
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    """A 2-topology x 2-bandwidth grid on a tiny workload."""
+    return (Experiment.for_app("sancho-loop", num_ranks=4, iterations=2)
+            .bandwidths(50.0, 500.0)
+            .topologies("flat", "tree:radix=2")
+            .chunk_count(4)
+            .run())
+
+
+class TestAccessors:
+    def test_cells_cover_the_grid(self, grid_result):
+        assert len(grid_result.cells) == 2
+        assert grid_result.apps() == ["sancho-loop"]
+        assert {cell.dims.topology for cell in grid_result.cells} == \
+            {"flat", "tree:radix=2"}
+        for cell in grid_result.cells:
+            assert [p.bandwidth_mbps for p in cell.sweep.points] == [50.0, 500.0]
+
+    def test_sweep_filters_to_one_cell(self, grid_result):
+        sweep = grid_result.sweep(topology="tree:radix=2")
+        assert sweep.metadata["topology"] == "tree:radix=2"
+
+    def test_ambiguous_selection_is_an_error(self, grid_result):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            grid_result.sweep()
+
+    def test_no_match_is_an_error(self, grid_result):
+        with pytest.raises(AnalysisError, match="no experiment cell"):
+            grid_result.sweep(topology="torus")
+
+    def test_unknown_dimension_is_an_error(self, grid_result):
+        with pytest.raises(AnalysisError, match="unknown cell dimension"):
+            grid_result.sweep(color="blue")
+
+    def test_by_topology(self, grid_result):
+        sweeps = grid_result.by_topology()
+        assert list(sweeps) == ["flat", "tree:radix=2"]
+
+    def test_by_topology_rejects_multi_axis_grids(self):
+        result = (Experiment.for_app("sancho-loop", num_ranks=4, iterations=1)
+                  .bandwidths(100.0)
+                  .eager_thresholds(0, 65536)
+                  .chunk_count(4)
+                  .run())
+        with pytest.raises(AnalysisError, match="one cell per topology"):
+            result.by_topology()
+
+    def test_by_app(self, grid_result):
+        with pytest.raises(AnalysisError, match="one cell per application"):
+            grid_result.by_app()
+        single = (Experiment.for_app("sancho-loop", num_ranks=4, iterations=1)
+                  .bandwidths(100.0, 1000.0).chunk_count(4).run())
+        assert list(single.by_app()) == ["sancho-loop"]
+
+    def test_studies_require_full_results(self, grid_result):
+        with pytest.raises(AnalysisError, match="full_results"):
+            grid_result.studies()
+
+
+class TestTidyExports:
+    def test_rows_cover_every_point_and_variant(self, grid_result):
+        rows = grid_result.to_rows()
+        # 2 cells x 2 bandwidths x 3 variants
+        assert len(rows) == 12
+        first = rows[0]
+        for column in ("app", "topology", "processors_per_node", "latency",
+                       "eager_threshold", "cpu_speed", "bandwidth_mbps",
+                       "variant", "time", "speedup", "task_seconds",
+                       *NETWORK_COLUMNS):
+            assert column in first
+        originals = [row for row in rows if row["variant"] == "original"]
+        assert all(row["speedup"] == 1.0 for row in originals)
+        assert all(row["time"] > 0 for row in rows)
+
+    def test_json_export(self, grid_result, tmp_path):
+        path = tmp_path / "rows.json"
+        text = grid_result.to_json(path)
+        payload = json.loads(text)
+        assert payload["spec"]["experiment"]["apps"] == ["sancho-loop"]
+        assert len(payload["rows"]) == 12
+        assert json.loads(path.read_text(encoding="utf-8")) == payload
+
+    def test_csv_export(self, grid_result, tmp_path):
+        path = tmp_path / "rows.csv"
+        text = grid_result.to_csv(path)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 12
+        assert parsed[0]["app"] == "sancho-loop"
+        assert path.read_text(encoding="utf-8") == text
+
+
+class TestSummary:
+    def test_summary_names_the_varying_axis(self, grid_result):
+        text = grid_result.summary()
+        assert "sancho-loop" in text
+        assert "topology=tree:radix=2" in text
+        # Non-varying axes stay out of the coordinate labels.
+        assert "cpu_speed=" not in text
+        assert "replayed" in text
+
+    def test_reporting_tables_consume_the_sweeps(self, grid_result):
+        from repro.core.reporting import network_table, sweep_table, topology_table
+
+        assert "bandwidth sweep" in sweep_table(grid_result.sweep(topology="flat"))
+        assert "network statistics" in network_table(
+            grid_result.sweep(topology="flat"))
+        assert "topology comparison" in topology_table(grid_result.by_topology())

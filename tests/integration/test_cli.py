@@ -137,3 +137,96 @@ class TestCliTopologies:
         with pytest.raises(SystemExit):
             main(["simulate", "--trace", "whatever.json", "--topology", "mesh"])
         assert "topology" in capsys.readouterr().err
+
+
+class TestCliOverlapValidation:
+    def test_overlap_with_none_mechanism_is_a_clear_error(self, tmp_path, capsys):
+        code = main(["trace", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "1", "--output", str(tmp_path / "t.json"),
+                     "--overlap", "ideal", "--mechanism", "none"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "none" in err
+
+    def test_mechanism_without_overlap_is_a_clear_error(self, tmp_path, capsys):
+        code = main(["trace", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "1", "--output", str(tmp_path / "t.json"),
+                     "--mechanism", "early-send"])
+        assert code == 1
+        assert "needs --overlap" in capsys.readouterr().err
+
+    def test_overlap_with_explicit_mechanism_still_works(self, tmp_path, capsys):
+        assert main(["trace", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "1", "--output", str(tmp_path / "t.json"),
+                     "--overlap", "real", "--mechanism", "early-send"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCliGeneratedWorkloads:
+    def test_random_exchange_is_listed(self, capsys):
+        assert main(["list-apps"]) == 0
+        assert "random-exchange" in capsys.readouterr().out
+
+    def test_study_on_a_seeded_workload(self, capsys):
+        code = main(["study", "--app", "random-exchange", "--ranks", "4",
+                     "--iterations", "2", "--seed", "5", "--chunk-count", "4"])
+        assert code == 0
+        assert "random-exchange" in capsys.readouterr().out
+
+    def test_seed_on_a_paper_app_is_a_clear_error(self, tmp_path, capsys):
+        code = main(["trace", "--app", "nas-bt", "--ranks", "4",
+                     "--seed", "5", "--output", str(tmp_path / "t.json")])
+        assert code == 1
+        assert "does not accept" in capsys.readouterr().err
+
+
+class TestCliRunSpec:
+    SPEC = """
+[experiment]
+apps = ["sancho-loop"]
+bandwidths = [50.0, 500.0]
+patterns = ["real", "ideal"]
+mechanisms = ["full"]
+jobs = 1
+
+[app]
+num_ranks = 4
+iterations = 2
+
+[chunking]
+policy = "fixed-count"
+count = 4
+"""
+
+    def _write(self, tmp_path, extra=""):
+        path = tmp_path / "experiment.toml"
+        path.write_text(self.SPEC + extra, encoding="utf-8")
+        return path
+
+    def test_run_spec_prints_tables_and_summary(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(self._write(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out and "bandwidth sweep" in out
+        assert "peak ideal-variant speedup" in out
+
+    def test_run_spec_with_topology_axis_and_exports(self, tmp_path, capsys):
+        extra = '\n[platform]\nname = "cli-test"\n'
+        path = self._write(tmp_path, extra)
+        json_out = tmp_path / "rows.json"
+        csv_out = tmp_path / "rows.csv"
+        assert main(["run", "--spec", str(path), "--jobs", "2", "--quiet",
+                     "--json", str(json_out), "--csv", str(csv_out)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        assert json_out.exists() and csv_out.exists()
+        assert "bandwidth sweep" not in out  # --quiet suppresses the tables
+
+    def test_run_rejects_a_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "experiment.toml"
+        path.write_text("[experiment]\napps = []\n", encoding="utf-8")
+        assert main(["run", "--spec", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_reports_a_missing_spec_file(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(tmp_path / "nope.toml")]) == 1
+        assert "cannot read" in capsys.readouterr().err

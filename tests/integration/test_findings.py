@@ -8,10 +8,10 @@ findings rather than exact numbers.
 import pytest
 
 from repro.apps import Alya, NasBT, NasCG, Specfem, Sweep3D
-from repro.core import ComputationPattern, OverlapStudyEnvironment
+from repro.core import OverlapStudyEnvironment
 from repro.core.analysis import sancho_overlap_bound
-from repro.core.sweeps import run_bandwidth_sweep
 from repro.dimemas import Platform
+from repro.experiments import Experiment
 
 
 @pytest.fixture(scope="module")
@@ -63,20 +63,20 @@ class TestFindingBandwidthRelaxation:
     """Section III: overlap lets the network be orders of magnitude slower."""
 
     def test_overlapped_needs_far_less_bandwidth(self):
-        sweep = run_bandwidth_sweep(
-            NasBT(num_ranks=16, iterations=2),
-            bandwidths_mbps=[5.0, 20.0, 80.0, 320.0, 1280.0, 5120.0, 20480.0],
-            patterns=[ComputationPattern.IDEAL])
+        sweep = (Experiment.for_app("nas-bt", num_ranks=16, iterations=2)
+                 .bandwidths(5.0, 20.0, 80.0, 320.0, 1280.0, 5120.0, 20480.0)
+                 .patterns("ideal")
+                 .run().sweep())
         factor = sweep.bandwidth_reduction_factor("ideal")
         assert factor is not None
         assert factor > 10.0
 
     def test_speedup_curve_has_the_paper_shape(self):
         """Speedup tends to 1 at very high bandwidth and peaks in between."""
-        sweep = run_bandwidth_sweep(
-            Alya(num_ranks=16, iterations=2),
-            bandwidths_mbps=[10.0, 100.0, 1000.0, 50000.0],
-            patterns=[ComputationPattern.IDEAL])
+        sweep = (Experiment.for_app("alya", num_ranks=16, iterations=2)
+                 .bandwidths(10.0, 100.0, 1000.0, 50000.0)
+                 .patterns("ideal")
+                 .run().sweep())
         speedups = dict(sweep.speedups("ideal"))
         assert speedups[50000.0] < 1.1
         assert max(speedups.values()) > 1.2

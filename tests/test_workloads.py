@@ -56,3 +56,37 @@ class TestRandomExchangeWorkload:
         trace_always = TracingVirtualMachine().trace(always)
         assert len(trace_never[0].collectives()) == 0
         assert len(trace_always[0].collectives()) == 6
+
+
+class TestRegistryIntegration:
+    """The generator registers like a built-in app (experiment specs can
+    name generated workloads)."""
+
+    def test_random_exchange_is_registered(self):
+        from repro.apps.registry import APPLICATIONS, create_application
+
+        assert RandomExchangeWorkload.name in APPLICATIONS
+        app = create_application("random-exchange", seed=9, num_ranks=4,
+                                 iterations=2)
+        assert isinstance(app, RandomExchangeWorkload)
+        assert app.spec.seed == 9 and app.num_ranks == 4
+
+    def test_registry_matches_direct_factory(self):
+        from repro.apps.registry import create_application
+
+        registered = create_application("random-exchange", seed=4,
+                                        num_ranks=4, iterations=3)
+        direct = generate_workload(seed=4, num_ranks=4, iterations=3)
+        first = TracingVirtualMachine().trace(registered)
+        second = TracingVirtualMachine().trace(direct)
+        assert first.total_bytes() == second.total_bytes()
+        assert first.total_instructions() == second.total_instructions()
+
+    def test_bad_option_is_a_configuration_error(self):
+        import pytest as _pytest
+
+        from repro.apps.registry import create_application
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError, match="does not accept"):
+            create_application("random-exchange", warp_factor=9)
