@@ -91,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=None,
                      help="override the spec's worker count "
                           "(1 = serial, 0 = all cores)")
+    run.add_argument("--collect-timelines", action="store_true",
+                     help="keep full per-replay timelines on the result "
+                          "(sweeps default to the fast timeline-free replay "
+                          "path; scalar results are identical either way)")
     run.add_argument("--json", dest="json_output",
                      help="write the tidy result rows (plus the spec) as JSON")
     run.add_argument("--csv", dest="csv_output",
@@ -311,6 +315,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.from_file(args.spec)
     if args.jobs is not None:
         spec = spec.with_jobs(args.jobs)
+    if args.collect_timelines:
+        spec = spec.with_collect_timelines()
     described = spec.describe()
     print(f"loaded {args.spec}: {described['apps']} app(s) x "
           f"{described['grid_points']} grid point(s) x "

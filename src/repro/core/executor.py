@@ -24,6 +24,7 @@ regardless of the trace size.
 
 from __future__ import annotations
 
+import inspect
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -64,6 +65,11 @@ class SweepTask:
     ``point`` is the ordinal of the platform point within the sweep grid;
     :meth:`SweepExecutor.merge` groups by it, so two grid points that happen
     to share a bandwidth value stay separate sweep rows.
+
+    ``collect_timeline`` selects the timeline recorder for metric-only
+    replays: sweeps discard timelines, so it defaults off and the replay
+    skips the recording cost entirely (the scalar metrics are
+    bit-identical).  Full-result executions (studies) always record.
     """
 
     index: int
@@ -72,6 +78,7 @@ class SweepTask:
     platform: Platform
     label: str
     point: int = 0
+    collect_timeline: bool = False
 
 
 @dataclass(frozen=True)
@@ -107,17 +114,54 @@ class SweepTaskResult:
 
 # -- task execution (both sides) ----------------------------------------------
 
-def _replay(task: SweepTask, trace: Trace,
-            simulator: Optional[DimemasSimulator]) -> SimulationResult:
+# Custom simulators predate the collect_timeline kwarg and only promise
+# ``simulate(trace, platform=..., label=...)``; probe whether a simulator
+# accepts the recorder toggle before passing it.  The result is cached per
+# underlying ``simulate`` callable (one entry per class for ordinary
+# methods, one per callable for instance-attribute simulate functions), so
+# two instances never share a wrong answer.
+_COLLECT_KWARG_SUPPORT: Dict[Any, bool] = {}
+
+
+def _supports_collect_timeline(simulator: DimemasSimulator) -> bool:
+    simulate = getattr(simulator, "simulate", None)
+    probe_key = getattr(simulate, "__func__", simulate)
+    supported = _COLLECT_KWARG_SUPPORT.get(probe_key)
+    if supported is None:
+        try:
+            parameters = inspect.signature(simulate).parameters
+            supported = ("collect_timeline" in parameters
+                         or any(parameter.kind is parameter.VAR_KEYWORD
+                                for parameter in parameters.values()))
+        except (TypeError, ValueError):
+            supported = False
+        _COLLECT_KWARG_SUPPORT[probe_key] = supported
+    return supported
+
+
+def _simulate(task: SweepTask, trace: Trace,
+              simulator: Optional[DimemasSimulator],
+              collect_timeline: bool) -> SimulationResult:
     """Replay one task, honouring a custom simulator when one is supplied."""
     simulator = simulator or DimemasSimulator(task.platform)
+    if _supports_collect_timeline(simulator):
+        return simulator.simulate(trace, platform=task.platform,
+                                  label=task.label,
+                                  collect_timeline=collect_timeline)
     return simulator.simulate(trace, platform=task.platform, label=task.label)
+
+
+def _replay(task: SweepTask, trace: Trace,
+            simulator: Optional[DimemasSimulator]) -> SimulationResult:
+    """Full-result replay: shipped results carry timelines by contract."""
+    return _simulate(task, trace, simulator, collect_timeline=True)
 
 
 def _metrics(task: SweepTask, trace: Trace,
              simulator: Optional[DimemasSimulator]) -> SweepTaskResult:
     start = time.perf_counter()
-    result = _replay(task, trace, simulator)
+    result = _simulate(task, trace, simulator,
+                       collect_timeline=task.collect_timeline)
     network = result.network
     return SweepTaskResult(
         index=task.index,
@@ -170,6 +214,9 @@ def _worker_trace(key: str) -> Trace:
     if trace is None:
         serialized = _lookup_trace(_TRACE_TABLE, key)
         trace = Trace.from_dict(serialized)
+        # Normalise once per worker: every task this worker runs against the
+        # variant reuses the prepared (opcode-tagged) record stream.
+        trace.prepared()
         _TRACE_CACHE[key] = trace
     return trace
 
@@ -204,7 +251,13 @@ class SweepExecutor:
     @staticmethod
     def expand(variants: Dict[str, Trace], platforms: Sequence[Platform],
                app_name: str = "trace") -> List[SweepTask]:
-        """Expand a variant x platform grid into self-contained tasks."""
+        """Expand a variant x platform grid into self-contained tasks.
+
+        Expanded tasks are metric-only and run timeline-free (the
+        :class:`SweepTask` default); callers that need recorded timelines
+        execute with ``full_results`` or build tasks with
+        ``collect_timeline=True`` themselves.
+        """
         tasks: List[SweepTask] = []
         for point, platform in enumerate(platforms):
             for variant in variants:
@@ -235,6 +288,10 @@ class SweepExecutor:
         fresh :class:`DimemasSimulator` per task.
         """
         if self.jobs == 1 or len(tasks) <= 1:
+            # Warm the preparation cache up front so the first task of a
+            # variant is not charged for the normalisation of all of them.
+            for task in tasks:
+                _lookup_trace(traces, task.trace_key).prepared()
             run = _replay if full_results else _metrics
             return [run(task, _lookup_trace(traces, task.trace_key), simulator)
                     for task in tasks]

@@ -1,4 +1,14 @@
-"""The simulation environment and generator-based processes."""
+"""The simulation environment and generator-based processes.
+
+The environment is the hot core of every replay: tens of thousands of
+events flow through :meth:`Environment.run` per simulated application, so
+the scheduling paths are written for speed -- ``__slots__`` classes, a
+:meth:`Environment.schedule_timeout` fast path that builds a plain-delay
+:class:`Timeout` without the generic event machinery, and a drain loop that
+binds its hot attributes once instead of per event.  The semantics are
+unchanged from the straightforward implementation: same event ordering
+(time, then priority, then insertion order), same error surfacing.
+"""
 
 from __future__ import annotations
 
@@ -31,14 +41,19 @@ class Process(Event):
     so processes can wait on each other.
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env, name=name or getattr(generator, "__name__", "Process"))
+        Event.__init__(self, env, name=name)
         self._generator = generator
         self._target: Optional[Event] = None
         Initialize(env, self).add_callback(self._resume)
+
+    def _default_name(self) -> str:
+        return getattr(self._generator, "__name__", "Process")
 
     @property
     def is_alive(self) -> bool:
@@ -52,12 +67,14 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or exception) of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self._generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(
-                        None if event._value is PENDING else event._value)
+                    value = event._value
+                    next_event = send(None if value is PENDING else value)
                 else:
                     event.defuse()
                     next_event = self._generator.throw(event._value)
@@ -81,19 +98,21 @@ class Process(Event):
                 self.fail(error, priority=PRIORITY_URGENT)
                 break
 
-            if next_event.processed:
+            if next_event.callbacks is None:  # already processed
                 # The event already happened: continue immediately with it.
                 event = next_event
                 continue
 
             self._target = next_event
-            next_event.add_callback(self._resume)
+            next_event.callbacks.append(self._resume)
             break
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Environment:
     """Owns simulation time and the event queue."""
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -124,11 +143,33 @@ class Environment:
             raise ValueError(f"cannot schedule an event in the past (delay={delay!r})")
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
 
+    def schedule_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Fast path for plain delays: build and enqueue a :class:`Timeout`.
+
+        Equivalent to ``Timeout(env, delay, value)`` (same validation, same
+        queue position) but skips the generic event-construction machinery,
+        which matters because timeouts dominate the replay hot loop.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event._name = None
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event._delay = delay
+        heapq.heappush(self._queue,
+                       (self._now + delay, PRIORITY_NORMAL, next(self._eid), event))
+        return event
+
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise EmptySchedule("no more events scheduled")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _priority, _eid, event = heapq.heappop(queue)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -144,11 +185,24 @@ class Environment:
         (run until that simulation time) or an :class:`Event` (run until the
         event is processed; its value is returned).
         """
+        queue = self._queue
+        heappop = heapq.heappop
+
+        if until is None:
+            # Drain loop (the replay path): no stop checks per event.
+            while queue:
+                when, _priority, _eid, event = heappop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return None
+
         stop_event: Optional[Event] = None
         stop_time: Optional[float] = None
-        if until is None:
-            pass
-        elif isinstance(until, Event):
+        if isinstance(until, Event):
             stop_event = until
         else:
             stop_time = float(until)
@@ -157,22 +211,28 @@ class Environment:
                     f"until={stop_time!r} lies before the current time {self._now!r}")
 
         while True:
-            if stop_event is not None and stop_event.processed:
+            if stop_event is not None and stop_event.callbacks is None:
                 if not stop_event._ok:
                     stop_event.defuse()
                     raise stop_event._value
                 return stop_event._value
-            if not self._queue:
+            if not queue:
                 if stop_event is not None:
                     raise EmptySchedule(
                         "event queue drained before the 'until' event triggered")
                 if stop_time is not None and stop_time > self._now:
                     self._now = stop_time
                 return None
-            if stop_time is not None and self.peek() > stop_time:
+            if stop_time is not None and queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _priority, _eid, event = heappop(queue)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
     # -- factories ---------------------------------------------------------
     def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
@@ -181,7 +241,7 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that triggers after ``delay`` time units."""
-        return Timeout(self, delay, value)
+        return self.schedule_timeout(delay, value)
 
     def event(self, name: Optional[str] = None) -> Event:
         """A bare event that user code triggers explicitly."""

@@ -8,10 +8,17 @@ An :class:`Event` moves through three states:
 * *processed* -- the environment popped the event and ran its callbacks.
 
 Processes (see :mod:`repro.des.core`) wait on events by yielding them.
+
+Events are the unit currency of the replay hot loop (every timeout, resource
+grant and message-life-cycle notification is one), so the classes here are
+tuned for allocation speed: every class carries ``__slots__`` (no per-event
+``__dict__``) and display names are computed *lazily* -- an event that is
+never printed never pays for its name string.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.des.exceptions import EventAlreadyTriggered
@@ -29,13 +36,30 @@ PRIORITY_NORMAL = 1
 class Event:
     """A condition a process can wait for."""
 
+    __slots__ = ("env", "callbacks", "_name", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment", name: Optional[str] = None):
         self.env = env
-        self.name = name
+        self._name = name
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok = True
         self._defused = False
+
+    # -- naming --------------------------------------------------------
+    @property
+    def name(self) -> Optional[str]:
+        """Display name (computed on first access for unnamed events)."""
+        if self._name is None:
+            return self._default_name()
+        return self._name
+
+    @name.setter
+    def name(self, value: Optional[str]) -> None:
+        self._name = value
+
+    def _default_name(self) -> Optional[str]:
+        return None
 
     # -- state ---------------------------------------------------------
     @property
@@ -63,11 +87,15 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event successfully and schedule it for processing."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=0.0, priority=priority)
+        # Inline of ``env.schedule(self, delay=0.0, priority=priority)``:
+        # triggering is the second-hottest path after the drain loop, and a
+        # zero delay needs no validation.
+        env = self.env
+        heappush(env._queue, (env._now, priority, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -77,13 +105,14 @@ class Event:
         If nothing ever waits on a failed event the environment raises the
         exception at processing time so errors never pass silently.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, delay=0.0, priority=priority)
+        env = self.env
+        heappush(env._queue, (env._now, priority, next(env._eid), self))
         return self
 
     def defuse(self) -> None:
@@ -110,14 +139,19 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` time units after its creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env, name=f"Timeout({delay})")
+        Event.__init__(self, env)
         self._delay = delay
         self._ok = True
         self._value = value
         env.schedule(self, delay=delay, priority=PRIORITY_NORMAL)
+
+    def _default_name(self) -> str:
+        return f"Timeout({self._delay})"
 
     @property
     def delay(self) -> float:
@@ -127,12 +161,17 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to bootstrap a process."""
 
+    __slots__ = ("process",)
+
     def __init__(self, env: "Environment", process: "Event"):
-        super().__init__(env, name="Initialize")
+        Event.__init__(self, env)
         self.process = process
         self._ok = True
         self._value = None
         env.schedule(self, delay=0.0, priority=PRIORITY_URGENT)
+
+    def _default_name(self) -> str:
+        return "Initialize"
 
 
 class Condition(Event):
@@ -143,9 +182,11 @@ class Condition(Event):
     A failing child fails the whole condition immediately.
     """
 
+    __slots__ = ("_events", "_evaluate", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[List[Event], int], bool]):
-        super().__init__(env, name=self.__class__.__name__)
+        Event.__init__(self, env)
         self._events: List[Event] = list(events)
         self._evaluate = evaluate
         self._count = 0
@@ -157,6 +198,9 @@ class Condition(Event):
             return
         for event in self._events:
             event.add_callback(self._check)
+
+    def _default_name(self) -> str:
+        return self.__class__.__name__
 
     def _collect(self) -> dict:
         return {
@@ -180,12 +224,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every child event has triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda events, count: count == len(events))
 
 
 class AnyOf(Condition):
     """Triggers as soon as any child event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda events, count: count >= 1 or not events)

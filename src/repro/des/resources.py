@@ -21,9 +21,14 @@ class Request(Event):
     is the token to pass back to :meth:`Resource.release`.
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env, name=f"Request({resource.name})")
+        Event.__init__(self, resource.env)
         self.resource = resource
+
+    def _default_name(self) -> str:
+        return f"Request({self.resource.name})"
 
 
 class Resource:
@@ -114,9 +119,14 @@ class InfiniteResource:
 class StoreGet(Event):
     """Event returned by :meth:`Store.get`."""
 
+    __slots__ = ("store",)
+
     def __init__(self, store: "Store"):
-        super().__init__(store.env, name="StoreGet")
+        Event.__init__(self, store.env)
         self.store = store
+
+    def _default_name(self) -> str:
+        return "StoreGet"
 
 
 class Store:
@@ -150,6 +160,19 @@ class Store:
         return event
 
 
+class ContainerGet(Event):
+    """Event returned by :meth:`Container.get`; carries the requested amount."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, env: Environment, amount: float):
+        Event.__init__(self, env)
+        self.amount = amount
+
+    def _default_name(self) -> str:
+        return "ContainerGet"
+
+
 class Container:
     """A continuous quantity with blocking ``get`` (used for byte budgets)."""
 
@@ -180,8 +203,7 @@ class Container:
     def get(self, amount: float) -> Event:
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        event = Event(self.env, name="ContainerGet")
-        event.amount = amount  # type: ignore[attr-defined]
+        event = ContainerGet(self.env, amount)
         self._getters.append(event)
         self._drain()
         return event

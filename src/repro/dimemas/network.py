@@ -98,19 +98,23 @@ class NetworkFabric:
         self.env.process(self._transfer(message), name="transfer")
 
     def _transfer(self, message: Message):
+        env = self.env
+        timeout = env.schedule_timeout
+        statistics = self.statistics
         platform = self.platform
+        size = message.size
         src_node = platform.node_of(message.src)
         dst_node = platform.node_of(message.dst)
         intranode = src_node == dst_node
         queue_time = 0.0
         duration = 0.0
         if intranode:
-            message.transfer_start = self.env.now
-            duration = platform.transfer_time(message.size, intranode=True)
-            yield self.env.timeout(duration)
+            message.transfer_start = env._now
+            duration = platform.transfer_time(size, intranode=True)
+            yield timeout(duration)
         else:
             for hop in self.model.route(src_node, dst_node):
-                requested_at = self.env.now
+                requested_at = env._now
                 requests = []
                 try:
                     # Acquire the hop's resources in its fixed order (for
@@ -121,11 +125,11 @@ class NetworkFabric:
                         request = resource.request()
                         requests.append((resource, request))
                         yield request
-                    hop_queue = self.env.now - requested_at
+                    hop_queue = env._now - requested_at
                     if message.transfer_start is None:
-                        message.transfer_start = self.env.now
-                    hop_duration = hop.transfer_time(message.size)
-                    yield self.env.timeout(hop_duration)
+                        message.transfer_start = env._now
+                    hop_duration = hop.transfer_time(size)
+                    yield timeout(hop_duration)
                 finally:
                     # A failed or interrupted transfer must return its
                     # capacity; leaking a link or bus slot deadlocks every
@@ -135,12 +139,12 @@ class NetworkFabric:
                         resource.release(request)
                 queue_time += hop_queue
                 duration += hop_duration
-                self.statistics.record_hop(hop.name, hop_queue)
-        message.arrival_time = self.env.now
-        message.arrived.succeed(self.env.now)
-        self.statistics.record(message.size, queue_time, duration, intranode)
+                statistics.record_hop(hop.name, hop_queue)
+        message.arrival_time = env._now
+        message.arrived.succeed(env._now)
+        statistics.record(size, queue_time, duration, intranode)
         if self.timeline is not None:
             self.timeline.add_communication(
-                src=message.src, dst=message.dst, size=message.size,
+                src=message.src, dst=message.dst, size=size,
                 tag=message.tag, send_time=message.transfer_start,
                 recv_time=message.arrival_time)

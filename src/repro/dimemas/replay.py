@@ -4,13 +4,30 @@ Every rank of the trace becomes one DES process that walks its record list:
 computation bursts advance local time (scaled by the platform's relative CPU
 speed), point-to-point records go through the matcher and the network, and
 collective records synchronise through the :class:`CollectiveCoordinator`.
+
+The per-rank walk is the hottest loop of the whole system (every sweep cell
+replays every record of every rank), so it is written as a fast path:
+
+* records are dispatched through the precomputed per-record-type opcode
+  table of the prepared trace (:meth:`repro.tracing.trace.Trace.prepared`)
+  instead of an ``isinstance`` chain;
+* every per-iteration attribute lookup (environment clock, matcher posting
+  methods, stats object, timeout factory, CPU resource of the rank) is
+  hoisted out of the loop;
+* timeline recording is pluggable: with ``collect_timeline=False`` the
+  engine installs a :class:`~repro.paraver.timeline.NullRecorder` and the
+  loop skips interval bookkeeping entirely.
+
+The fast path is pinned bit-identical to the straightforward implementation
+by the golden tests in ``tests/dimemas/test_replay_golden.py``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.des import Environment, Resource
+from repro.des import Environment, Event, Resource
+from repro.des.events import PENDING
 from repro.dimemas.collectives import collective_duration
 from repro.dimemas.matching import MessageMatcher
 from repro.dimemas.messages import Message
@@ -19,16 +36,48 @@ from repro.dimemas.platform import Platform
 from repro.dimemas.results import RankStats
 from repro.errors import SimulationError
 from repro.paraver.states import ThreadState
-from repro.paraver.timeline import Timeline
-from repro.tracing.records import (
-    CollectiveRecord,
-    CpuBurst,
-    RecvRecord,
-    SendRecord,
-    WaitRecord,
-)
+from repro.paraver.timeline import NullRecorder, Timeline
+from repro.tracing.records import CollectiveRecord
 from repro.tracing.timebase import TimeBase
-from repro.tracing.trace import Trace
+from repro.tracing.trace import (
+    OP_COLLECTIVE,
+    OP_CPU,
+    OP_RECV,
+    OP_SEND,
+    OP_WAIT,
+    Trace,
+)
+
+
+class _WaitAll(Event):
+    """Barrier on a list of events, specialised for the replay wait path.
+
+    Triggers exactly when :class:`~repro.des.AllOf` would (the callback of
+    the last child event), but skips the generic condition machinery -- no
+    evaluate closure per child, no value dictionary -- because the replay
+    loop never reads the wait's value.  A failing child fails the wait, as
+    with the generic condition.
+    """
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, env: Environment, events):
+        Event.__init__(self, env)
+        self._remaining = len(events)
+        check = self._check
+        for event in events:
+            event.add_callback(check)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if not self._remaining:
+            self.succeed(None)
 
 
 class _CollectiveInstance:
@@ -81,15 +130,29 @@ class CollectiveCoordinator:
 
 
 class ReplayEngine:
-    """Builds and runs the whole replay of one trace on one platform."""
+    """Builds and runs the whole replay of one trace on one platform.
 
-    def __init__(self, trace: Trace, platform: Platform, label: Optional[str] = None):
+    ``collect_timeline`` selects the timeline recorder: ``True`` (the
+    default, and the behaviour of every interactive entry point) records
+    per-rank state intervals and communication lines; ``False`` installs a
+    :class:`~repro.paraver.timeline.NullRecorder` so metric-only callers
+    (bandwidth sweeps, experiment grids) skip the recording cost.  The
+    scalar results -- total time, rank statistics, network statistics --
+    are bit-identical either way.
+    """
+
+    def __init__(self, trace: Trace, platform: Platform,
+                 label: Optional[str] = None, collect_timeline: bool = True):
         self.trace = trace
         self.platform = platform
         self.label = label or trace.metadata.get("name", "trace")
+        self.collect_timeline = collect_timeline
         self.env = Environment()
-        self.timeline = Timeline(num_ranks=trace.num_ranks, name=self.label)
-        self.network = NetworkFabric(self.env, platform, trace.num_ranks, self.timeline)
+        timeline_class = Timeline if collect_timeline else NullRecorder
+        self.timeline = timeline_class(num_ranks=trace.num_ranks, name=self.label)
+        self.network = NetworkFabric(
+            self.env, platform, trace.num_ranks,
+            self.timeline if collect_timeline else None)
         self.matcher = MessageMatcher(self.env, platform, self.network)
         self.coordinator = CollectiveCoordinator(self.env, platform, trace.num_ranks)
         self.timebase = TimeBase(trace.mips)
@@ -101,9 +164,10 @@ class ReplayEngine:
     # -- public ------------------------------------------------------------
     def run(self) -> Tuple[float, List[RankStats], Timeline, Dict[str, float]]:
         """Run the replay and return (total_time, stats, timeline, network stats)."""
+        prepared = self.trace.prepared()
         for rank_trace in self.trace:
             process = self.env.process(
-                self._rank_process(rank_trace.rank, rank_trace.records),
+                self._rank_process(rank_trace.rank, prepared.ops[rank_trace.rank]),
                 name=f"rank{rank_trace.rank}")
             self._processes.append(process)
         self.env.run()
@@ -142,62 +206,100 @@ class ReplayEngine:
                 name=f"cpu[{node}]")
         return self._cpus[node]
 
-    def _rank_process(self, rank: int, records):
+    def _rank_process(self, rank: int, ops):
+        # Hot loop: every name used per record is bound locally once, the
+        # record type is dispatched through the precomputed opcode, and the
+        # branches are ordered by record frequency (bursts first).
         env = self.env
         stats = self.stats[rank]
-        timeline = self.timeline
+        collect = self.collect_timeline
+        add_interval = self.timeline.add_interval
+        timeout = env.schedule_timeout
+        post_send = self.matcher.post_send
+        post_recv = self.matcher.post_recv
+        enter_collective = self.coordinator.enter
+        progress = self._progress
+        platform = self.platform
+        mpi_overhead = platform.mpi_overhead
+        # Same float expression as TimeBase.seconds() so burst durations
+        # stay bit-identical: instructions / (mips * 1e6 * cpu_speed).
+        duration_denominator = (self.timebase.instructions_per_second
+                                * platform.relative_cpu_speed)
+        cpu = self._cpu_resource(platform.node_of(rank))
+        state_running = ThreadState.RUNNING
+        state_idle = ThreadState.IDLE
         requests: Dict[int, Tuple[str, Message]] = {}
         collective_index = 0
-        mpi_overhead = self.platform.mpi_overhead
-        for position, record in enumerate(records):
-            self._progress[rank] = position
-            if mpi_overhead > 0 and not isinstance(record, CpuBurst):
+        position = -1
+
+        for position, (op, record) in enumerate(ops):
+            progress[rank] = position
+            if mpi_overhead > 0.0 and op != OP_CPU:
                 # Fixed software cost of entering the MPI library (extension
                 # of the paper's time model, see Platform.mpi_overhead).
-                start = env.now
-                yield env.timeout(mpi_overhead)
-                stats.compute_time += env.now - start
-                timeline.add_interval(rank, start, env.now, ThreadState.RUNNING)
-            if isinstance(record, CpuBurst):
-                duration = self.timebase.seconds(
-                    record.instructions, self.platform.relative_cpu_speed)
-                cpu = self._cpu_resource(self.platform.node_of(rank))
+                # Accounted as mpi_overhead_time, not compute_time: the
+                # library cost is not computation, but
+                # compute_time + mpi_overhead_time still adds up to what
+                # the old accounting called compute time.
+                start = env._now
+                yield timeout(mpi_overhead)
+                stats.mpi_overhead_time += env._now - start
+                if collect:
+                    add_interval(rank, start, env._now, state_running)
+            if op == OP_CPU:
+                duration = record.instructions / duration_denominator
                 if cpu is not None:
-                    queue_start = env.now
+                    queue_start = env._now
                     grant = cpu.request()
-                    yield grant
-                    if env.now > queue_start:
-                        stats.cpu_queue_time += env.now - queue_start
-                        timeline.add_interval(rank, queue_start, env.now, ThreadState.IDLE)
-                start = env.now
-                yield env.timeout(duration)
-                stats.compute_time += env.now - start
-                timeline.add_interval(rank, start, env.now, ThreadState.RUNNING)
-                if cpu is not None:
-                    cpu.release(grant)
-            elif isinstance(record, SendRecord):
-                message = self.matcher.post_send(rank, record)
+                    try:
+                        yield grant
+                        if env._now > queue_start:
+                            stats.cpu_queue_time += env._now - queue_start
+                            if collect:
+                                add_interval(rank, queue_start, env._now, state_idle)
+                        start = env._now
+                        yield timeout(duration)
+                        stats.compute_time += env._now - start
+                        if collect:
+                            add_interval(rank, start, env._now, state_running)
+                    finally:
+                        # The grant must go back even if this process dies
+                        # mid-burst (a failed replay elsewhere propagates
+                        # through the DES); a leaked CPU slot would wedge
+                        # every later burst on the node.  Releasing a
+                        # still-queued request simply withdraws it.
+                        cpu.release(grant)
+                else:
+                    start = env._now
+                    yield timeout(duration)
+                    stats.compute_time += env._now - start
+                    if collect:
+                        add_interval(rank, start, env._now, state_running)
+            elif op == OP_SEND:
+                message = post_send(rank, record)
                 stats.bytes_sent += record.size
                 stats.messages_sent += 1
                 if record.blocking:
-                    start = env.now
+                    start = env._now
                     yield message.send_complete
-                    stats.send_wait_time += env.now - start
-                    timeline.add_interval(rank, start, env.now, ThreadState.SEND_WAIT)
+                    stats.send_wait_time += env._now - start
+                    if collect:
+                        add_interval(rank, start, env._now, ThreadState.SEND_WAIT)
                 else:
                     requests[record.request] = ("send", message)
-            elif isinstance(record, RecvRecord):
-                message = self.matcher.post_recv(rank, record)
+            elif op == OP_RECV:
+                message = post_recv(rank, record)
                 stats.bytes_received += record.size
                 stats.messages_received += 1
                 if record.blocking:
-                    start = env.now
+                    start = env._now
                     yield message.arrived
-                    stats.recv_wait_time += env.now - start
-                    timeline.add_interval(rank, start, env.now, ThreadState.RECV_WAIT)
+                    stats.recv_wait_time += env._now - start
+                    if collect:
+                        add_interval(rank, start, env._now, ThreadState.RECV_WAIT)
                 else:
                     requests[record.request] = ("recv", message)
-            elif isinstance(record, WaitRecord):
+            elif op == OP_WAIT:
                 events = []
                 for request_id in record.requests:
                     try:
@@ -209,22 +311,24 @@ class ReplayEngine:
                                   else message.arrived)
                 if not events:
                     continue
-                start = env.now
-                yield env.all_of(events)
-                stats.request_wait_time += env.now - start
-                timeline.add_interval(rank, start, env.now, ThreadState.REQUEST_WAIT)
-            elif isinstance(record, CollectiveRecord):
-                start = env.now
-                instance = self.coordinator.enter(rank, record, collective_index)
+                start = env._now
+                yield _WaitAll(env, events)
+                stats.request_wait_time += env._now - start
+                if collect:
+                    add_interval(rank, start, env._now, ThreadState.REQUEST_WAIT)
+            elif op == OP_COLLECTIVE:
+                start = env._now
+                instance = enter_collective(rank, record, collective_index)
                 collective_index += 1
                 stats.collectives += 1
                 yield instance.all_arrived
-                remaining = instance.finish_time - env.now
+                remaining = instance.finish_time - env._now
                 if remaining > 0:
-                    yield env.timeout(remaining)
-                stats.collective_time += env.now - start
-                timeline.add_interval(rank, start, env.now, ThreadState.COLLECTIVE)
+                    yield timeout(remaining)
+                stats.collective_time += env._now - start
+                if collect:
+                    add_interval(rank, start, env._now, ThreadState.COLLECTIVE)
             else:
                 raise SimulationError(f"rank {rank}: unknown record {record!r}")
-        self._progress[rank] = len(records)
-        stats.finish_time = env.now
+        self._progress[rank] = position + 1
+        stats.finish_time = env._now

@@ -18,14 +18,25 @@ class DimemasSimulator:
     be reused across a bandwidth sweep.
     """
 
-    def __init__(self, platform: Optional[Platform] = None):
+    def __init__(self, platform: Optional[Platform] = None,
+                 collect_timeline: bool = True):
         self.platform = platform or Platform()
+        self.collect_timeline = collect_timeline
 
     def simulate(self, trace: Trace, platform: Optional[Platform] = None,
-                 label: Optional[str] = None) -> SimulationResult:
-        """Reconstruct the time behaviour of ``trace`` on ``platform``."""
+                 label: Optional[str] = None,
+                 collect_timeline: Optional[bool] = None) -> SimulationResult:
+        """Reconstruct the time behaviour of ``trace`` on ``platform``.
+
+        ``collect_timeline=False`` replays with a null timeline recorder
+        (the scalar results are bit-identical, the returned timeline is
+        empty); ``None`` falls back to the simulator's default.
+        """
         platform = platform or self.platform
-        engine = ReplayEngine(trace, platform, label=label)
+        if collect_timeline is None:
+            collect_timeline = self.collect_timeline
+        engine = ReplayEngine(trace, platform, label=label,
+                              collect_timeline=collect_timeline)
         total_time, stats, timeline, network_stats = engine.run()
         metadata = dict(trace.metadata)
         if label is not None:

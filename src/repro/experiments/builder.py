@@ -143,6 +143,11 @@ class Experiment:
         self._kwargs["jobs"] = jobs
         return self
 
+    def collect_timelines(self, collect: bool = True) -> "Experiment":
+        """Keep full per-replay results (timelines included) on the result."""
+        self._kwargs["collect_timelines"] = collect
+        return self
+
     # -- terminal operations ----------------------------------------------
     def build(self) -> ExperimentSpec:
         """The immutable, serializable spec this builder describes."""

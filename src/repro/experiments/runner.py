@@ -193,8 +193,12 @@ def run_experiment(spec: ExperimentSpec,
     everything is constructed from the spec.  With ``full_results`` the
     replays additionally ship whole :class:`SimulationResult` objects back
     (timelines included), which :meth:`ExperimentResult.studies` needs --
-    metric rows then carry no per-task timing.
+    metric rows then carry no per-task timing.  A spec with
+    ``collect_timelines`` set implies ``full_results``; otherwise the
+    replays run with the null timeline recorder (bit-identical scalars,
+    no timeline cost).
     """
+    full_results = full_results or spec.collect_timelines
     plans = variant_plans(spec)
     if environment is None:
         environment = build_environment(spec)

@@ -39,7 +39,7 @@ CHUNKING_POLICIES: Dict[str, Tuple[str, ...]] = {
 _SECTIONS: Dict[str, Tuple[str, ...]] = {
     "experiment": ("apps", "seeds", "bandwidths", "latencies", "topologies",
                    "node_mappings", "eager_thresholds", "cpu_speeds",
-                   "patterns", "mechanisms", "jobs"),
+                   "patterns", "mechanisms", "jobs", "collect_timelines"),
     "app": ("app_options",),
     "platform": ("platform",),
     "chunking": ("chunking",),
@@ -118,6 +118,11 @@ class ExperimentSpec:
       (see :data:`CHUNKING_POLICIES`).
     * ``jobs`` is the replay worker-pool width (1 = serial, 0 = all cores);
       results are bit-identical across jobs counts.
+    * ``collect_timelines`` keeps full per-replay simulation results --
+      per-rank timelines included -- on the :class:`ExperimentResult`.  It
+      defaults off: sweeps and grids only consume scalar metrics, and a
+      timeline-free replay runs measurably faster while producing
+      bit-identical scalars.
     """
 
     apps: Tuple[str, ...] = ()
@@ -134,6 +139,7 @@ class ExperimentSpec:
     platform: _Items = ()
     chunking: _Items = ()
     jobs: int = 1
+    collect_timelines: bool = False
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
@@ -153,6 +159,7 @@ class ExperimentSpec:
         set_(self, "mechanisms", _tuple_of(self.mechanisms, str, "mechanisms"))
         set_(self, "platform", _items_of(self.platform, "platform"))
         set_(self, "chunking", _items_of(self.chunking, "chunking"))
+        set_(self, "collect_timelines", bool(self.collect_timelines))
         self._validate()
 
     # -- validation --------------------------------------------------------
@@ -232,6 +239,10 @@ class ExperimentSpec:
         """A copy of this spec with a different worker count."""
         return replace(self, jobs=jobs)
 
+    def with_collect_timelines(self, collect: bool = True) -> "ExperimentSpec":
+        """A copy of this spec with timeline collection toggled."""
+        return replace(self, collect_timelines=collect)
+
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Dict[str, Any]]:
         """The canonical nested-dict form (inverse of :meth:`from_dict`)."""
@@ -244,6 +255,8 @@ class ExperimentSpec:
         experiment["patterns"] = list(self.patterns)
         experiment["mechanisms"] = list(self.mechanisms)
         experiment["jobs"] = self.jobs
+        if self.collect_timelines:
+            experiment["collect_timelines"] = True
         data: Dict[str, Dict[str, Any]] = {"experiment": experiment}
         if self.app_options:
             data["app"] = self.app_options_dict()

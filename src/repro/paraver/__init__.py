@@ -15,10 +15,16 @@ from repro.paraver.ascii import render_gantt
 from repro.paraver.compare import TimelineComparison, compare_timelines
 from repro.paraver.prv import export_prv, to_prv
 from repro.paraver.states import ThreadState
-from repro.paraver.timeline import CommunicationEvent, StateInterval, Timeline
+from repro.paraver.timeline import (
+    CommunicationEvent,
+    NullRecorder,
+    StateInterval,
+    Timeline,
+)
 
 __all__ = [
     "CommunicationEvent",
+    "NullRecorder",
     "StateInterval",
     "ThreadState",
     "Timeline",

@@ -46,12 +46,21 @@ class CommunicationEvent:
 
 @dataclass
 class Timeline:
-    """Per-rank state intervals plus communication lines."""
+    """Per-rank state intervals plus communication lines.
+
+    A timeline is also the pluggable *recorder* the replay engine writes
+    into: callers that never consume timelines (bandwidth sweeps, parameter
+    grids) replace it with a :class:`NullRecorder` so the hot loop skips
+    every interval allocation.
+    """
 
     num_ranks: int
     intervals: List[StateInterval] = field(default_factory=list)
     communications: List[CommunicationEvent] = field(default_factory=list)
     name: str = "timeline"
+
+    #: Whether this recorder actually retains what is written into it.
+    collects = True
 
     def add_interval(self, rank: int, start: float, end: float,
                      state: ThreadState) -> None:
@@ -117,3 +126,25 @@ class Timeline:
             if interval.start <= time < interval.end:
                 return interval.state
         return ThreadState.IDLE
+
+
+@dataclass
+class NullRecorder(Timeline):
+    """A timeline recorder that drops everything written into it.
+
+    Used whenever the caller does not consume timelines (metric-only sweep
+    tasks, grid cells of an experiment): the replay results then carry a
+    structurally valid -- but empty -- :class:`Timeline`, and the replay hot
+    loop never allocates a :class:`StateInterval`.  All query methods are
+    inherited and report an empty timeline.
+    """
+
+    collects = False
+
+    def add_interval(self, rank: int, start: float, end: float,
+                     state: ThreadState) -> None:
+        """Drop the interval (recording is disabled)."""
+
+    def add_communication(self, src: int, dst: int, size: int, tag: int,
+                          send_time: float, recv_time: float) -> None:
+        """Drop the communication line (recording is disabled)."""

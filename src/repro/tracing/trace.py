@@ -5,7 +5,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Type, Union
+from typing import Any, Dict, Iterator, List, Tuple, Type, Union
 
 from repro.errors import TraceFormatError
 from repro.tracing.records import (
@@ -17,6 +17,50 @@ from repro.tracing.records import (
     WaitRecord,
 )
 from repro.tracing.timebase import DEFAULT_MIPS
+
+# -- replay preparation --------------------------------------------------------
+# Opcodes of the prepared (replay-ready) record stream.  The replay engine
+# dispatches on these small integers instead of running an ``isinstance``
+# chain per record; the mapping from record class to opcode is computed once
+# per trace (see :meth:`Trace.prepared`), not once per replayed record.
+OP_CPU = 0
+OP_SEND = 1
+OP_RECV = 2
+OP_WAIT = 3
+OP_COLLECTIVE = 4
+#: Records of a type the replay engine does not know (surface at replay).
+OP_UNKNOWN = -1
+
+#: The precomputed record-type dispatch table.
+RECORD_OPCODES: Dict[type, int] = {
+    CpuBurst: OP_CPU,
+    SendRecord: OP_SEND,
+    RecvRecord: OP_RECV,
+    WaitRecord: OP_WAIT,
+    CollectiveRecord: OP_COLLECTIVE,
+}
+
+
+@dataclass
+class PreparedTrace:
+    """A trace normalised for replay: opcode-tagged record streams.
+
+    ``ops[rank]`` is the rank's record list with every record paired with
+    its dispatch opcode.  Prepared traces are built once per
+    :class:`Trace` object and cached (:meth:`Trace.prepared`), so a sweep
+    that replays the same trace on dozens of platforms normalises it once
+    instead of once per task.
+    """
+
+    ops: List[List[Tuple[int, Record]]]
+
+    @classmethod
+    def compile(cls, trace: "Trace") -> "PreparedTrace":
+        opcode_of = RECORD_OPCODES
+        ops = [[(opcode_of.get(type(record), OP_UNKNOWN), record)
+                for record in rank_trace.records]
+               for rank_trace in trace.ranks]
+        return cls(ops=ops)
 
 
 @dataclass
@@ -121,6 +165,22 @@ class Trace:
             "total_messages": self.total_messages(),
             "records": sum(len(rank_trace) for rank_trace in self.ranks),
         }
+
+    # -- replay preparation -------------------------------------------------
+    def prepared(self) -> PreparedTrace:
+        """The replay-ready (opcode-tagged) form of this trace, cached.
+
+        The first call compiles the record lists; later calls -- e.g. every
+        further platform point of a sweep -- return the cached object.  The
+        cache lives on the :class:`Trace` instance (records are never
+        mutated after construction), so any executor or worker that keeps a
+        trace alive reuses its preparation for free.
+        """
+        prepared = getattr(self, "_prepared", None)
+        if prepared is None:
+            prepared = PreparedTrace.compile(self)
+            self._prepared = prepared
+        return prepared
 
     # -- (de)serialisation -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,160 @@
+"""Edge cases of the DES fast path: failure surfacing, ``until`` semantics,
+priority ordering, and the slotted/lazily-named event classes."""
+
+import pytest
+
+from repro.des import Environment, Timeout
+from repro.des.events import PRIORITY_NORMAL, PRIORITY_URGENT
+from repro.des.exceptions import EmptySchedule
+
+
+class TestRunUntilFailure:
+    def test_run_until_failing_event_raises(self):
+        env = Environment()
+        boom = env.event(name="boom")
+
+        def failer():
+            yield env.timeout(1.0)
+            boom.fail(RuntimeError("until-event failed"))
+
+        env.process(failer())
+        with pytest.raises(RuntimeError, match="until-event failed"):
+            env.run(until=boom)
+        # The failure was consumed by run(), not left to re-raise later.
+        assert boom.processed
+
+    def test_run_surfaces_unwaited_failure(self):
+        # A failed event with no waiters must never pass silently: the
+        # drain loop raises it when the event is processed.
+        env = Environment()
+        env.event().fail(ValueError("pre-failed"))
+        with pytest.raises(ValueError, match="pre-failed"):
+            env.run()
+
+    def test_run_until_processed_failed_event_raises_on_reentry(self):
+        env = Environment()
+        boom = env.event()
+        boom.fail(RuntimeError("kept failing"))
+        boom.defuse()
+        env.run()  # processed, defused: nothing raises here
+        with pytest.raises(RuntimeError, match="kept failing"):
+            env.run(until=boom)
+
+    def test_failed_event_with_no_waiters_surfaces_at_step(self):
+        env = Environment()
+        env.event(name="lonely").fail(ValueError("nobody listened"))
+        with pytest.raises(ValueError, match="nobody listened"):
+            env.step()
+
+    def test_defused_failure_does_not_surface(self):
+        env = Environment()
+        event = env.event()
+        event.fail(ValueError("handled elsewhere"))
+        event.defuse()
+        env.run()  # no raise
+        assert event.processed
+
+
+class TestRunUntilExhaustion:
+    def test_empty_schedule_before_until_event(self):
+        env = Environment()
+        blocked = env.event()
+
+        def waiter():
+            yield blocked  # never triggered
+
+        done = env.process(waiter())
+        with pytest.raises(EmptySchedule,
+                           match="drained before the 'until' event"):
+            env.run(until=done)
+
+    def test_until_event_triggered_on_final_queue_entry(self):
+        env = Environment()
+        last = env.timeout(2.0, value="last")
+        assert env.run(until=last) == "last"
+        assert env.now == 2.0
+
+
+class TestPeekVersusPriority:
+    def test_peek_reports_time_not_priority(self):
+        env = Environment()
+        env.schedule(env.event(), delay=1.0, priority=PRIORITY_NORMAL)
+        env.schedule(env.event(), delay=1.0, priority=PRIORITY_URGENT)
+        assert env.peek() == 1.0
+
+    def test_urgent_events_processed_before_normal_at_same_time(self):
+        env = Environment()
+        order = []
+        normal = env.event(name="normal")
+        urgent = env.event(name="urgent")
+        normal.add_callback(lambda ev: order.append("normal"))
+        urgent.add_callback(lambda ev: order.append("urgent"))
+        # Trigger the normal one first: priority must still win over
+        # insertion order at the same timestamp.
+        normal.succeed(priority=PRIORITY_NORMAL)
+        urgent.succeed(priority=PRIORITY_URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_priority_does_not_overtake_earlier_times(self):
+        env = Environment()
+        order = []
+        env.timeout(1.0).add_callback(lambda ev: order.append("early-normal"))
+        late = env.event()
+        late.add_callback(lambda ev: order.append("late-urgent"))
+        env.schedule(late, delay=2.0, priority=PRIORITY_URGENT)
+        late._value = None  # triggered by hand for the bare schedule
+        env.run()
+        assert order == ["early-normal", "late-urgent"]
+
+
+class TestScheduleTimeoutFastPath:
+    def test_equivalent_to_generic_timeout(self):
+        env = Environment()
+        fast = env.schedule_timeout(3.0, value="fast")
+        generic = Timeout(env, 3.0, value="generic")
+        assert type(fast) is Timeout
+        assert fast.delay == generic.delay
+        assert fast.triggered and generic.triggered
+        order = []
+        fast.add_callback(lambda ev: order.append(ev.value))
+        generic.add_callback(lambda ev: order.append(ev.value))
+        env.run()
+        assert order == ["fast", "generic"]  # FIFO at the same instant
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="negative timeout delay"):
+            Environment().schedule_timeout(-0.5)
+
+    def test_lazy_name_is_computed_on_access(self):
+        env = Environment()
+        timeout = env.schedule_timeout(2.5)
+        assert timeout._name is None  # nothing paid until someone asks
+        assert timeout.name == "Timeout(2.5)"
+
+    def test_timeout_factory_uses_the_fast_path(self):
+        env = Environment()
+        timeout = env.timeout(1.5, value=7)
+        assert type(timeout) is Timeout
+        assert env.run(until=timeout) == 7
+
+
+class TestSlottedEvents:
+    def test_events_reject_arbitrary_attributes(self):
+        event = Environment().event()
+        with pytest.raises(AttributeError):
+            event.arbitrary_attribute = 1
+
+    def test_name_stays_settable(self):
+        event = Environment().event(name="first")
+        assert event.name == "first"
+        event.name = "second"
+        assert event.name == "second"
+
+    def test_unnamed_event_defaults_to_none(self):
+        assert Environment().event().name is None
+
+    def test_event_value_before_trigger_raises(self):
+        event = Environment().event()
+        with pytest.raises(AttributeError):
+            event.value

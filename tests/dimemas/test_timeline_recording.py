@@ -1,0 +1,170 @@
+"""Pluggable timeline recording: the NullRecorder and its wiring.
+
+``collect_timeline`` flows from the entry points down to the replay engine:
+metric-only sweep tasks default to the null recorder, full-result
+executions (studies) always record, the experiment spec exposes
+``collect_timelines``, and the interactive ``simulate`` path keeps
+recording by default.
+"""
+
+import pytest
+
+from repro.core.analysis import ORIGINAL
+from repro.core.environment import OverlapStudyEnvironment
+from repro.core.executor import SweepExecutor
+from repro.dimemas.platform import Platform
+from repro.dimemas.replay import ReplayEngine
+from repro.dimemas.simulator import DimemasSimulator
+from repro.errors import AnalysisError
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.paraver.states import ThreadState
+from repro.paraver.timeline import NullRecorder, Timeline
+
+
+@pytest.fixture
+def trace(small_loop):
+    return OverlapStudyEnvironment().trace(small_loop)
+
+
+class TestNullRecorder:
+    def test_drops_intervals_and_communications(self):
+        recorder = NullRecorder(num_ranks=2)
+        recorder.add_interval(0, 0.0, 1.0, ThreadState.RUNNING)
+        recorder.add_communication(0, 1, 100, 0, 0.0, 1.0)
+        assert recorder.intervals == []
+        assert recorder.communications == []
+        assert recorder.duration == 0.0
+        assert recorder.collects is False
+        assert Timeline(num_ranks=2).collects is True
+
+    def test_queries_stay_valid(self):
+        recorder = NullRecorder(num_ranks=2)
+        assert recorder.time_in_state(ThreadState.RUNNING) == 0.0
+        assert recorder.state_at(0, 0.5) == ThreadState.IDLE
+        recorder.validate()  # no overlap in an empty timeline
+
+
+class TestEngineFlag:
+    def test_default_records(self, trace):
+        engine = ReplayEngine(trace, Platform())
+        _, _, timeline, _ = engine.run()
+        assert timeline.collects is True
+        assert timeline.intervals
+
+    def test_disabled_recording_returns_empty_timeline(self, trace):
+        engine = ReplayEngine(trace, Platform(), collect_timeline=False)
+        total_time, stats, timeline, _ = engine.run()
+        assert isinstance(timeline, NullRecorder)
+        assert timeline.intervals == []
+        assert total_time > 0
+        # The network fabric was not handed a recorder either.
+        assert engine.network.timeline is None
+
+    def test_simulator_flag(self, trace):
+        recording = DimemasSimulator(Platform()).simulate(trace)
+        bare = DimemasSimulator(Platform()).simulate(trace, collect_timeline=False)
+        assert recording.timeline.intervals
+        assert bare.timeline.intervals == []
+        assert bare.total_time == recording.total_time
+        assert bare.ranks == recording.ranks
+
+
+class TestExecutorWiring:
+    def test_metric_tasks_default_to_null_recorder(self, trace, platform):
+        tasks = SweepExecutor.expand({ORIGINAL: trace}, [platform])
+        assert all(task.collect_timeline is False for task in tasks)
+
+    def test_task_flag_reaches_the_replay(self, trace, platform):
+        from dataclasses import replace
+        task = replace(SweepExecutor.expand({ORIGINAL: trace}, [platform])[0],
+                       collect_timeline=True)
+        # Metric rows don't ship timelines, but the flag must still select
+        # the recording replay path (simulator honours it per task).
+        result = SweepExecutor().execute([task], {ORIGINAL: trace})
+        assert result[0].total_time > 0
+
+    def test_full_results_always_carry_timelines(self, trace, platform):
+        tasks = SweepExecutor.expand({ORIGINAL: trace}, [platform])
+        results = SweepExecutor().execute(tasks, {ORIGINAL: trace},
+                                          full_results=True)
+        assert results[0].timeline.intervals
+
+
+class TestSpecWiring:
+    def test_spec_defaults_off_and_round_trips(self):
+        spec = ExperimentSpec(apps=("nas-bt",))
+        assert spec.collect_timelines is False
+        enabled = spec.with_collect_timelines()
+        assert enabled.collect_timelines is True
+        assert ExperimentSpec.from_toml(enabled.to_toml()) == enabled
+        assert ExperimentSpec.from_json(enabled.to_json()) == enabled
+        # The default stays out of the serialized form.
+        assert "collect_timelines" not in spec.to_toml()
+
+    def test_run_experiment_keeps_full_results_when_enabled(self):
+        spec = ExperimentSpec(
+            apps=("sancho-loop",), app_options={"num_ranks": 4, "iterations": 2},
+            patterns=("ideal",), collect_timelines=True)
+        result = run_experiment(spec)
+        assert result.simulation_results is not None
+        assert all(r.timeline.intervals for r in result.simulation_results)
+
+    def test_run_experiment_discards_timelines_by_default(self):
+        spec = ExperimentSpec(
+            apps=("sancho-loop",), app_options={"num_ranks": 4, "iterations": 2},
+            patterns=("ideal",))
+        result = run_experiment(spec)
+        assert result.simulation_results is None
+
+    def test_scalar_results_identical_either_way(self):
+        base = ExperimentSpec(
+            apps=("sancho-loop",), app_options={"num_ranks": 4, "iterations": 2},
+            bandwidths=(20.0, 2000.0), patterns=("real", "ideal"))
+        fast = run_experiment(base)
+        recorded = run_experiment(base.with_collect_timelines())
+        fast_points, recorded_points = fast.sweep().points, recorded.sweep().points
+        assert [p.times for p in fast_points] == [p.times for p in recorded_points]
+        assert [p.network for p in fast_points] == [p.network for p in recorded_points]
+        assert ([p.original_communication_fraction for p in fast_points]
+                == [p.original_communication_fraction for p in recorded_points])
+
+    def test_timeline_still_guards_rank_bounds(self):
+        timeline = Timeline(num_ranks=1)
+        with pytest.raises(AnalysisError):
+            timeline.add_interval(5, 0.0, 1.0, ThreadState.RUNNING)
+
+
+class TestLazyRecvPostedHook:
+    def test_access_after_posting_is_already_processed(self):
+        from repro.des import Environment
+        from repro.dimemas.matching import MessageMatcher
+        from repro.dimemas.network import NetworkFabric
+        from repro.tracing.records import RecvRecord, SendRecord
+
+        env = Environment()
+        p = Platform()
+        matcher = MessageMatcher(env, p, NetworkFabric(env, p, num_ranks=2))
+        matcher.post_send(0, SendRecord(dst=1, size=10))
+        message = matcher.post_recv(1, RecvRecord(src=0, size=10))
+        queued_before = len(env._queue)
+        hook = message.recv_posted
+        # Materialised in the processed state at the posting time: a waiter
+        # resumes synchronously and nothing was enqueued retroactively.
+        assert hook.processed and hook.triggered and hook.ok
+        assert hook.value == 0.0
+        assert len(env._queue) == queued_before
+
+    def test_access_before_posting_waits_for_the_posting(self):
+        from repro.des import Environment
+        from repro.dimemas.matching import MessageMatcher
+        from repro.dimemas.network import NetworkFabric
+        from repro.tracing.records import RecvRecord, SendRecord
+
+        env = Environment()
+        p = Platform()
+        matcher = MessageMatcher(env, p, NetworkFabric(env, p, num_ranks=2))
+        message = matcher.post_send(0, SendRecord(dst=1, size=10))
+        hook = message.recv_posted
+        assert not hook.triggered
+        matcher.post_recv(1, RecvRecord(src=0, size=10))
+        assert hook.triggered
