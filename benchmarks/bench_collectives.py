@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Analytical vs decomposed collective cost across the three topologies.
+
+Replays the collective-heavy ``allreduce-ring`` workload under both
+collective models on the flat bus, a hierarchical tree and a 2-D torus, and
+reports per (topology, model) cell
+
+* the *simulated* runtime of the original trace at the lowest and highest
+  swept bandwidth (what the machine model predicts),
+* the share of transferred bytes carried by collective phases (0 for the
+  analytical model, which never touches the fabric), and
+* the *replay wall time* the simulator spent on the cell's grid (what
+  lowering collectives into routed point-to-point phases costs us).
+
+The run self-checks the subsystem's contract: analytical cells must carry
+no collective fabric traffic, decomposed cells must, and the decomposed
+simulated times must differ across topologies (exit 1 otherwise).  With
+``--output`` the per-cell numbers are written as JSON
+(``BENCH_collectives.json`` is the committed snapshot; CI smoke-runs this
+script and uploads the file as a build artifact).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_collectives.py --ranks 8 --samples 3
+
+The harness is a plain script (not collected by pytest) because it measures
+wall time, which only means something when run alone on an idle machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as host_platform
+import sys
+
+from repro._version import __version__
+from repro.core.analysis import ORIGINAL, geometric_bandwidths
+from repro.core.reporting import format_table
+from repro.experiments import Experiment
+
+TOPOLOGIES = ["flat", "tree:radix=4,bandwidth_scale=2.0,links=2", "torus:links=1"]
+MODELS = ["analytical", "decomposed"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="collective-model cost across topologies on allreduce-ring")
+    parser.add_argument("--ranks", type=int, default=16)
+    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--samples", type=int, default=4,
+                        help="bandwidth points in the grid")
+    parser.add_argument("--min-bandwidth", type=float, default=10.0)
+    parser.add_argument("--max-bandwidth", type=float, default=10000.0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the replays")
+    parser.add_argument("--output", default=None,
+                        help="write the per-cell numbers as JSON")
+    args = parser.parse_args(argv)
+
+    bandwidths = geometric_bandwidths(
+        args.min_bandwidth, args.max_bandwidth, args.samples)
+
+    rows = []
+    cells_json = []
+    decomposed_times = {}
+    failures = []
+    for topology in TOPOLOGIES:
+        # One experiment per (topology, model) cell, so the replay wall
+        # time measures that cell alone -- the whole point of the wall
+        # column is to compare what each model's replay costs.
+        for model in MODELS:
+            result = (Experiment
+                      .for_app("allreduce-ring", num_ranks=args.ranks,
+                               iterations=args.iterations)
+                      .bandwidths(bandwidths)
+                      .topologies(topology)
+                      .collective_models(model)
+                      .patterns("ideal")
+                      .jobs(args.jobs)
+                      .run())
+            sweep = result.sweep()
+            slowest, fastest = sweep.points[0], sweep.points[-1]
+            share = fastest.network_stat(ORIGINAL, "collective_share")
+            wall = sweep.metadata["replay_wall_seconds"]
+            rows.append([topology, model, slowest.time(ORIGINAL),
+                         fastest.time(ORIGINAL), share, wall])
+            cells_json.append({
+                "topology": topology,
+                "collective_model": model,
+                "simulated_min_bandwidth": slowest.time(ORIGINAL),
+                "simulated_max_bandwidth": fastest.time(ORIGINAL),
+                "collective_share": share,
+                "replay_wall_seconds": wall,
+            })
+            if model == "analytical" and share != 0.0:
+                failures.append(
+                    f"{topology}: analytical model shows fabric collective "
+                    f"traffic (share {share})")
+            if model == "decomposed":
+                if share <= 0.0:
+                    failures.append(
+                        f"{topology}: decomposed model shows no collective "
+                        f"fabric traffic")
+                decomposed_times[topology] = fastest.time(ORIGINAL)
+
+    print(f"app: allreduce-ring ({args.ranks} ranks, {args.iterations} "
+          f"iterations), {args.samples}-point bandwidth grid "
+          f"[{args.min_bandwidth:g}, {args.max_bandwidth:g}] MB/s, "
+          f"jobs={args.jobs}")
+    print()
+    print(format_table(
+        ["topology", "model", f"simulated @{args.min_bandwidth:g} (s)",
+         f"simulated @{args.max_bandwidth:g} (s)", "collective byte share",
+         "replay wall (s)"],
+        rows, title="collective models: analytical vs decomposed"))
+
+    if len(set(decomposed_times.values())) != len(decomposed_times):
+        failures.append(
+            f"decomposed collective times are not topology-dependent: "
+            f"{decomposed_times}")
+    if args.output:
+        payload = {
+            "benchmark": "collectives",
+            "version": __version__,
+            "python": host_platform.python_version(),
+            "parameters": {
+                "ranks": args.ranks,
+                "iterations": args.iterations,
+                "samples": args.samples,
+                "min_bandwidth": args.min_bandwidth,
+                "max_bandwidth": args.max_bandwidth,
+                "jobs": args.jobs,
+            },
+            "cells": cells_json,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"SELF-CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("\nself-check passed: analytical is fabric-free, decomposed "
+          "traffic is topology-dependent")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ what makes the real-pattern overlapping potential negligible.
 
 from repro.apps.base import ApplicationModel
 from repro.apps.alya import Alya
+from repro.apps.collective_loop import AllreduceRing
 from repro.apps.nas_bt import NasBT
 from repro.apps.nas_cg import NasCG
 from repro.apps.pop import Pop
@@ -28,6 +29,7 @@ from repro.apps.synthetic import SanchoLoop
 
 __all__ = [
     "APPLICATIONS",
+    "AllreduceRing",
     "Alya",
     "ApplicationModel",
     "NasBT",

@@ -1,0 +1,85 @@
+"""A collective-dominated iterative loop (``allreduce-ring``).
+
+The paper's applications are point-to-point heavy; their occasional tiny
+allreduces barely register on the network.  Topology x collective-model
+sweeps need the opposite: a workload whose traffic is mostly *collectives*,
+so that lowering them onto the fabric (the ``decomposed`` collective model)
+visibly moves the bottom line.  This model is that workload -- the classic
+data-parallel training/solver loop:
+
+every iteration computes, exchanges a thin halo with the ring neighbours
+(just enough point-to-point traffic for the collectives to contend with),
+then allreduces a large gradient-style payload; every ``barrier_interval``
+iterations a barrier synchronises the ranks, and the run ends with an
+allgather of per-rank results plus a broadcast of the final decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.apps.base import ApplicationModel
+from repro.mpi.datatypes import BYTE
+from repro.tracing.context import RankContext
+
+
+class AllreduceRing(ApplicationModel):
+    """Compute, thin ring halo exchange, fat allreduce -- per iteration."""
+
+    name = "allreduce-ring"
+
+    def __init__(self, num_ranks: int = 8, iterations: int = 8,
+                 reduce_bytes: int = 262_144, halo_bytes: int = 4_096,
+                 instructions_per_iteration: float = 2.0e6,
+                 barrier_interval: int = 4,
+                 mips: float = 1000.0, imbalance: float = 0.0):
+        super().__init__(num_ranks, iterations, mips=mips, imbalance=imbalance)
+        if reduce_bytes < 1:
+            raise ValueError("reduce_bytes must be positive")
+        if halo_bytes < 0:
+            raise ValueError("halo_bytes must be non-negative")
+        if instructions_per_iteration <= 0:
+            raise ValueError("instructions_per_iteration must be positive")
+        if barrier_interval < 1:
+            raise ValueError("barrier_interval must be >= 1")
+        self.reduce_bytes = int(reduce_bytes)
+        self.halo_bytes = int(halo_bytes)
+        self.instructions_per_iteration = float(instructions_per_iteration)
+        self.barrier_interval = int(barrier_interval)
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info.update({
+            "reduce_bytes": self.reduce_bytes,
+            "halo_bytes": self.halo_bytes,
+            "instructions_per_iteration": self.instructions_per_iteration,
+            "barrier_interval": self.barrier_interval,
+        })
+        return info
+
+    def run(self, ctx: RankContext) -> None:
+        rank = ctx.rank
+        size = self.num_ranks
+        successor = (rank + 1) % size
+        predecessor = (rank - 1) % size
+        send_buffer = ctx.buffer("halo_out", self.halo_bytes) \
+            if self.halo_bytes else None
+        recv_buffer = ctx.buffer("halo_in", self.halo_bytes) \
+            if self.halo_bytes else None
+        for iteration in range(self.iterations):
+            instructions = self.imbalanced(
+                self.instructions_per_iteration, rank, iteration)
+            self.stencil_compute(
+                ctx, instructions,
+                consume=[recv_buffer] if recv_buffer else (),
+                produce=[send_buffer] if send_buffer else ())
+            if send_buffer is not None:
+                self.halo_exchange(
+                    ctx,
+                    sends=[(successor, send_buffer, 40)],
+                    recvs=[(predecessor, recv_buffer, 40)])
+            ctx.allreduce(count=self.reduce_bytes, datatype=BYTE)
+            if (iteration + 1) % self.barrier_interval == 0:
+                ctx.barrier()
+        ctx.allgather(count=max(1, self.reduce_bytes // size), datatype=BYTE)
+        ctx.bcast(count=8, datatype=BYTE)

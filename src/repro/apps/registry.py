@@ -6,6 +6,7 @@ from typing import Any, Callable, Dict, List
 
 from repro.apps.alya import Alya
 from repro.apps.base import ApplicationModel
+from repro.apps.collective_loop import AllreduceRing
 from repro.apps.nas_bt import NasBT
 from repro.apps.nas_cg import NasCG
 from repro.apps.pop import Pop
@@ -27,6 +28,7 @@ APPLICATIONS: Dict[str, Callable[..., ApplicationModel]] = {
     Specfem.name: Specfem,
     Sweep3D.name: Sweep3D,
     SanchoLoop.name: SanchoLoop,
+    AllreduceRing.name: AllreduceRing,
     RandomExchangeWorkload.name: generate_workload,
 }
 

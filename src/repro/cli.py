@@ -28,6 +28,11 @@ from repro.core.environment import OverlapStudyEnvironment
 from repro.core.chunking import FixedCountChunking, FixedSizeChunking
 from repro.core.overlap import resolve_overlap_request
 from repro.core.reporting import format_table, network_table, sweep_table, topology_table
+from repro.dimemas.collectives import (
+    COLLECTIVE_MODELS,
+    CollectiveSpec,
+    split_collective_list,
+)
 from repro.dimemas.platform import Platform
 from repro.dimemas.topology import TOPOLOGIES, TopologySpec, split_topology_list
 from repro.dimemas.simulator import DimemasSimulator
@@ -81,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(e.g. 'flat,tree:radix=8,torus'); replays the "
                             "same traced run on every topology and prints "
                             "per-topology columns")
+    sweep.add_argument("--collective-models",
+                       help="comma-separated collective-model specs to "
+                            "compare (e.g. 'analytical,decomposed' or "
+                            "'decomposed:bcast=ring'); replays the same "
+                            "traced run under every model and prints "
+                            "per-model columns")
     _add_jobs_argument(sweep)
 
     run = subparsers.add_parser(
@@ -147,6 +158,14 @@ def _parse_topology(text: str) -> TopologySpec:
         raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
+def _parse_collective_model(text: str) -> CollectiveSpec:
+    """Argparse type for collective-model specs."""
+    try:
+        return CollectiveSpec.parse(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bandwidth", type=float, default=250.0,
                         help="network bandwidth in MB/s (0 = ideal network)")
@@ -163,6 +182,13 @@ def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
                              f"{'|'.join(sorted(TOPOLOGIES))}, optionally "
                              "parameterised like 'tree:radix=8,links=2' or "
                              "'torus:torus_width=4'")
+    parser.add_argument("--collective-model", default="analytical",
+                        type=_parse_collective_model,
+                        help="collective cost model: "
+                             f"{'|'.join(sorted(COLLECTIVE_MODELS))}, the "
+                             "latter optionally with per-operation "
+                             "algorithm overrides like "
+                             "'decomposed:bcast=ring,allreduce=binomial'")
     parser.add_argument("--processors-per-node", type=int, default=1,
                         help="ranks mapped onto each node (consecutive "
                              "ranks fill nodes; same-node messages bypass "
@@ -193,6 +219,7 @@ def _platform_options(args: argparse.Namespace) -> dict:
         "relative_cpu_speed": args.cpu_speed,
         "eager_threshold": args.eager_threshold,
         "topology": args.topology.to_string(),
+        "collective_model": args.collective_model.to_string(),
         "processors_per_node": args.processors_per_node,
         "intranode_bandwidth_mbps": args.intranode_bandwidth,
         "intranode_latency": args.intranode_latency,
@@ -270,7 +297,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.min_bandwidth, args.max_bandwidth, args.samples))
     if args.topologies:
         builder.topologies(split_topology_list(args.topologies))
+    if args.collective_models:
+        builder.collective_models(split_collective_list(args.collective_models))
+    if args.topologies and args.collective_models:
+        return _print_grid_sweep(run_experiment(builder.build()))
+    if args.topologies:
         return _print_topology_sweep(run_experiment(builder.build()))
+    if args.collective_models:
+        return _print_collective_sweep(run_experiment(builder.build()))
     result = run_experiment(builder.build())
     sweep = result.sweep()
     print(sweep_table(sweep))
@@ -287,6 +321,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"peak ideal-pattern speedup: {peak:.3f}x at {peak_bandwidth:.1f} MB/s")
     if factor is not None:
         print(f"bandwidth reduction factor at the highest swept bandwidth: {factor:.1f}x")
+    return 0
+
+
+def _print_collective_sweep(result) -> int:
+    sweeps = result.by_collective_model()
+    print(topology_table(sweeps, dimension="collective model"))
+    for name, sweep in sweeps.items():
+        print()
+        # The network-table title only names app/variant/topology, which
+        # are identical across collective models -- label each table.
+        print(f"-- collective model: {name}")
+        print(network_table(sweep))
+    print()
+    for name, sweep in sweeps.items():
+        peak_bandwidth, peak = sweep.peak_speedup("ideal")
+        share = sweep.points[-1].network_stat("original", "collective_share")
+        print(f"{name}: peak ideal-pattern speedup {peak:.3f}x "
+              f"at {peak_bandwidth:.1f} MB/s, "
+              f"collective byte share {share:.3f}")
+    return 0
+
+
+def _print_grid_sweep(result) -> int:
+    """Per-cell tables when both topologies and collective models are swept."""
+    for cell in result.cells:
+        dims = cell.dims.as_dict()
+        print(f"-- topology={dims['topology']}, "
+              f"collective_model={dims['collective_model']}")
+        print(sweep_table(cell.sweep))
+        print()
+    print(result.summary())
     return 0
 
 

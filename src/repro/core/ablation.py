@@ -45,7 +45,9 @@ def _platform_overrides(platform: Platform) -> Dict[str, object]:
     overrides = {}
     for field in PLATFORM_FIELDS:
         value = getattr(platform, field)
-        overrides[field] = value.to_string() if field == "topology" else value
+        if field in ("topology", "collective_model"):
+            value = value.to_string()
+        overrides[field] = value
     return overrides
 
 

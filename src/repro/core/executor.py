@@ -95,11 +95,15 @@ class SweepTaskResult:
     worker_pid: int
     point: int = 0
     topology: str = "flat"
+    collective_model: str = "analytical"
     transfers: int = 0
     bytes_transferred: int = 0
     mean_queue_time: float = 0.0
     mean_transfer_time: float = 0.0
     intranode_share: float = 0.0
+    collective_transfers: int = 0
+    collective_bytes: int = 0
+    collective_share: float = 0.0
 
     def network_summary(self) -> Dict[str, float]:
         """The network counters this task carries, keyed like the fabric's."""
@@ -109,6 +113,9 @@ class SweepTaskResult:
             "mean_queue_time": self.mean_queue_time,
             "mean_transfer_time": self.mean_transfer_time,
             "intranode_share": self.intranode_share,
+            "collective_transfers": self.collective_transfers,
+            "collective_bytes": self.collective_bytes,
+            "collective_share": self.collective_share,
         }
 
 
@@ -174,11 +181,15 @@ def _metrics(task: SweepTask, trace: Trace,
         worker_pid=os.getpid(),
         point=task.point,
         topology=task.platform.topology.kind,
+        collective_model=task.platform.collective_model.to_string(),
         transfers=network.get("transfers", 0),
         bytes_transferred=network.get("bytes_transferred", 0),
         mean_queue_time=network.get("mean_queue_time", 0.0),
         mean_transfer_time=network.get("mean_transfer_time", 0.0),
-        intranode_share=network.get("intranode_share", 0.0))
+        intranode_share=network.get("intranode_share", 0.0),
+        collective_transfers=network.get("collective_transfers", 0),
+        collective_bytes=network.get("collective_bytes", 0),
+        collective_share=network.get("collective_share", 0.0))
 
 
 def _lookup_trace(traces: Dict[str, Any], key: str) -> Any:
@@ -264,6 +275,8 @@ class SweepExecutor:
                 label = f"{app_name}:{variant}@{platform.bandwidth_mbps}MBps"
                 if platform.topology.kind != "flat":
                     label += f"/{platform.topology.kind}"
+                if platform.collective_model.kind != "analytical":
+                    label += f"/{platform.collective_model.kind}"
                 tasks.append(SweepTask(
                     index=len(tasks),
                     variant=variant,

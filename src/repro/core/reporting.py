@@ -94,13 +94,16 @@ def network_table(sweep: BandwidthSweep, variant: str = ORIGINAL) -> str:
     return format_table(headers, rows, title=title + ")")
 
 
-def topology_table(sweeps: Dict[str, BandwidthSweep], variant: str = "ideal") -> str:
-    """Side-by-side topology comparison with per-topology columns.
+def topology_table(sweeps: Dict[str, BandwidthSweep], variant: str = "ideal",
+                   dimension: str = "topology") -> str:
+    """Side-by-side comparison with one column pair per swept dimension value.
 
-    ``sweeps`` maps topology names to the per-topology sweeps of
-    :func:`repro.core.sweeps.run_topology_sweep`; every topology contributes
-    an original-time and a speedup column, so E4/E5-style bandwidth curves
-    can be read per topology at a glance.
+    ``sweeps`` maps dimension values (topology specs of
+    :func:`repro.core.sweeps.run_topology_sweep`, or collective-model specs
+    of ``ExperimentResult.by_collective_model``) to their sweeps; every
+    value contributes an original-time and a speedup column, so E4/E5-style
+    bandwidth curves can be read side by side.  ``dimension`` only names
+    the compared axis in the title.
     """
     if not sweeps:
         raise ValueError("topology_table needs at least one sweep")
@@ -118,7 +121,7 @@ def topology_table(sweeps: Dict[str, BandwidthSweep], variant: str = "ideal") ->
             row.append(other.time(ORIGINAL))
             row.append(other.speedup(variant))
         rows.append(row)
-    title = f"topology comparison: {first.app_name} ({', '.join(names)})"
+    title = f"{dimension} comparison: {first.app_name} ({', '.join(names)})"
     return format_table(headers, rows, title=title)
 
 

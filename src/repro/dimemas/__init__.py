@@ -12,13 +12,23 @@ implements that machine model from scratch on top of :mod:`repro.des`:
 * :mod:`repro.dimemas.network`     -- point-to-point transfers routed over
   the topology model;
 * :mod:`repro.dimemas.protocol`    -- eager/rendezvous selection;
-* :mod:`repro.dimemas.collectives` -- collective cost models;
+* :mod:`repro.dimemas.collectives` -- pluggable collective cost models
+  (the closed-form ``analytical`` backend and the ``decomposed`` backend
+  that lowers collectives into point-to-point phases routed over the
+  topology model);
 * :mod:`repro.dimemas.matching`    -- cross-rank message matching;
 * :mod:`repro.dimemas.replay`      -- the per-rank replay processes;
 * :mod:`repro.dimemas.results`     -- per-rank statistics and aggregates;
 * :mod:`repro.dimemas.simulator`   -- the facade (`DimemasSimulator`).
 """
 
+from repro.dimemas.collectives import (
+    COLLECTIVE_MODELS,
+    AnalyticalModel,
+    CollectiveModel,
+    CollectiveSpec,
+    DecomposedModel,
+)
 from repro.dimemas.platform import Platform
 from repro.dimemas.results import RankStats, SimulationResult
 from repro.dimemas.simulator import DimemasSimulator
@@ -32,6 +42,11 @@ from repro.dimemas.topology import (
 )
 
 __all__ = [
+    "AnalyticalModel",
+    "COLLECTIVE_MODELS",
+    "CollectiveModel",
+    "CollectiveSpec",
+    "DecomposedModel",
     "DimemasSimulator",
     "FlatBus",
     "HierarchicalTree",

@@ -1,0 +1,93 @@
+"""Pluggable cost models for collective operations.
+
+Dimemas models collectives with analytical latency/bandwidth formulas; real
+machines execute them as algorithms made of point-to-point messages that
+ride the same interconnect as everything else.  This package provides both
+views behind one interface:
+
+* :mod:`~repro.dimemas.collectives.base`        -- the
+  :class:`CollectiveModel` interface and the :class:`CollectiveSpec` value
+  stored in ``Platform.collective_model``;
+* :mod:`~repro.dimemas.collectives.analytical`  -- the historical
+  closed-form backend (the default; bit-identical to the pre-package
+  implementation);
+* :mod:`~repro.dimemas.collectives.schedules`   -- per-algorithm phase
+  schedules (binomial tree, ring, recursive doubling, pairwise exchange);
+* :mod:`~repro.dimemas.collectives.decomposed`  -- the backend that
+  executes those schedules through the network fabric, making collective
+  cost topology-dependent and contended.
+
+The long-standing module-level helpers (``collective_duration``,
+``point_to_point_time``) keep their import path:
+``from repro.dimemas.collectives import collective_duration``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type, TYPE_CHECKING
+
+from repro.dimemas.collectives.analytical import (
+    AnalyticalModel,
+    collective_duration,
+    point_to_point_time,
+)
+from repro.dimemas.collectives.base import (
+    ANALYTICAL,
+    DECOMPOSED,
+    CollectiveModel,
+    CollectiveSpec,
+    MODEL_KINDS,
+    split_collective_list,
+)
+from repro.dimemas.collectives.decomposed import DecomposedModel
+from repro.dimemas.collectives.schedules import (
+    ALGORITHMS,
+    DEFAULT_ALGORITHMS,
+    build_schedule,
+    supported_algorithms,
+)
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des import Environment
+    from repro.dimemas.network import NetworkFabric
+    from repro.dimemas.platform import Platform
+
+#: Registry of the selectable collective-model kinds.
+COLLECTIVE_MODELS: Dict[str, Type[CollectiveModel]] = {
+    ANALYTICAL: AnalyticalModel,
+    DECOMPOSED: DecomposedModel,
+}
+
+
+def build_collective_model(env: "Environment", platform: "Platform",
+                           num_ranks: int,
+                           fabric: "NetworkFabric" = None) -> CollectiveModel:
+    """Instantiate the model selected by ``platform.collective_model``."""
+    try:
+        model = COLLECTIVE_MODELS[platform.collective_model.kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown collective model {platform.collective_model.kind!r} "
+            f"(choose from {sorted(COLLECTIVE_MODELS)})") from None
+    return model(env, platform, num_ranks, fabric)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "ANALYTICAL",
+    "AnalyticalModel",
+    "COLLECTIVE_MODELS",
+    "CollectiveModel",
+    "CollectiveSpec",
+    "DECOMPOSED",
+    "DEFAULT_ALGORITHMS",
+    "DecomposedModel",
+    "MODEL_KINDS",
+    "build_collective_model",
+    "build_schedule",
+    "collective_duration",
+    "point_to_point_time",
+    "split_collective_list",
+    "supported_algorithms",
+]

@@ -1,0 +1,65 @@
+"""The closed-form Dimemas collective cost model.
+
+This is the historical backend, preserved bit for bit through the package
+refactor (pinned by the golden tests in
+``tests/dimemas/test_collectives_golden.py``): every rank enters the
+collective, the operation starts when the last rank arrives, and every rank
+leaves ``collective_duration()`` later.  The formulas are the standard
+binomial-tree / ring models parameterised by the platform latency and
+bandwidth; they never touch the network fabric, so analytical collectives
+are topology-blind and contention-free by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.dimemas.collectives.base import ANALYTICAL, CollectiveModel
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dimemas.platform import Platform
+
+
+def point_to_point_time(size: int, platform: "Platform") -> float:
+    """Time of a single message inside a collective stage."""
+    return platform.transfer_time(size)
+
+
+def collective_duration(operation: str, size: int, num_ranks: int,
+                        platform: "Platform") -> float:
+    """Duration of ``operation`` with a per-rank payload of ``size`` bytes."""
+    if num_ranks < 1:
+        raise SimulationError(f"collective over {num_ranks} ranks")
+    if num_ranks == 1:
+        return 0.0
+    stages = math.ceil(math.log2(num_ranks))
+    message = point_to_point_time(size, platform)
+    if operation == "barrier":
+        return stages * platform.latency
+    if operation in ("bcast", "reduce", "scatter", "gather"):
+        return stages * message
+    if operation == "allreduce":
+        # Reduce followed by broadcast along the same binomial tree.
+        return 2.0 * stages * message
+    if operation == "allgather":
+        # Ring algorithm: P-1 steps, each moving one per-rank block.
+        return (num_ranks - 1) * message
+    if operation == "alltoall":
+        # Pairwise exchange: P-1 steps of one block to a distinct peer.
+        return (num_ranks - 1) * message
+    raise SimulationError(f"no cost model for collective {operation!r}")
+
+
+class AnalyticalModel(CollectiveModel):
+    """Closed-form durations; all ranks leave the collective together."""
+
+    kind = ANALYTICAL
+
+    def launch(self, instance) -> None:
+        duration = collective_duration(
+            instance.operation, instance.size, self.num_ranks,
+            self.platform)
+        instance.finish_time = self.env.now + duration
+        instance.all_arrived.succeed(self.env.now)

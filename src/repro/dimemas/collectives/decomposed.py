@@ -1,0 +1,85 @@
+"""The decomposed collective backend: schedules routed through the fabric.
+
+Where the analytical model charges one closed-form duration, this backend
+lowers every collective into the phase schedule of its algorithm
+(:mod:`repro.dimemas.collectives.schedules`) and executes each phase's
+transfers through :meth:`repro.dimemas.network.NetworkFabric.transfer_event`.
+Collective traffic therefore crosses the same routed hops -- links, buses,
+intranode shortcuts -- as the point-to-point messages of the replay, with
+three consequences the analytical model cannot express:
+
+* the cost of a collective depends on the topology (a binomial tree on a
+  2-D torus crosses more links than on a flat bus),
+* collectives *contend* with concurrent point-to-point traffic (and with
+  each other), and
+* :class:`~repro.dimemas.network.NetworkStatistics` attributes the
+  collective share of the transfer volume separately.
+
+Ranks leave individually: each rank's departure event fires when the last
+phase it participates in completes (a bcast leaf leaves before the last
+tree level finishes fanning out), which the analytical all-leave-together
+contract cannot model either.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.des import AllOf
+from repro.dimemas.collectives.base import DECOMPOSED, CollectiveModel
+from repro.dimemas.collectives.schedules import Phase, build_schedule
+from repro.errors import SimulationError
+
+
+class DecomposedModel(CollectiveModel):
+    """Executes per-algorithm phase schedules over the network fabric."""
+
+    kind = DECOMPOSED
+
+    def __init__(self, env, platform, num_ranks, fabric=None):
+        super().__init__(env, platform, num_ranks, fabric)
+        if fabric is None:
+            raise SimulationError(
+                "the decomposed collective model routes collectives through "
+                "the network and needs the replay's NetworkFabric")
+
+    def launch(self, instance) -> None:
+        env = self.env
+        phases = build_schedule(
+            instance.operation,
+            self.spec.algorithm_for(instance.operation),
+            instance.size, self.num_ranks, root=instance.root)
+        instance.completions = [env.event(name=f"collective[{instance.index}]"
+                                               f".rank{rank}")
+                                for rank in range(self.num_ranks)]
+        instance.all_arrived.succeed(env.now)
+        env.process(self._execute(instance, phases),
+                    name=f"collective[{instance.index}]:{instance.operation}")
+
+    def _execute(self, instance, phases: List[Phase]):
+        env = self.env
+        fabric = self.fabric
+        completions = instance.completions
+        # A rank may leave after the last phase it takes part in; ranks the
+        # schedule never touches (single-rank collectives, skipped
+        # recursive-doubling partners) leave as soon as everyone arrived.
+        last_phase = {}
+        for index, phase in enumerate(phases):
+            for src, dst, _ in phase:
+                last_phase[src] = index
+                last_phase[dst] = index
+        leave_after: List[List[int]] = [[] for _ in phases]
+        now = env.now
+        for rank, event in enumerate(completions):
+            if rank in last_phase:
+                leave_after[last_phase[rank]].append(rank)
+            else:
+                event.succeed(now)
+        for index, phase in enumerate(phases):
+            if phase:
+                yield AllOf(env, [fabric.transfer_event(src, dst, size)
+                                  for src, dst, size in phase])
+            now = env.now
+            for rank in leave_after[index]:
+                completions[rank].succeed(now)
+        instance.finish_time = env.now

@@ -1,0 +1,248 @@
+"""Per-algorithm point-to-point schedules for decomposed collectives.
+
+A *schedule* is a list of phases; a *phase* is a list of ``(src, dst,
+size)`` transfers that run concurrently.  Phases are separated by a
+barrier: phase ``k + 1`` starts once every transfer of phase ``k`` has
+arrived, which models the internal synchronisation of the algorithms
+(LogGP-style round structure) while leaving *how long* each transfer takes
+entirely to the network fabric -- routing, per-hop contention and intranode
+shortcuts all apply, so the same schedule costs different time on a flat
+bus, a hierarchical tree and a torus.
+
+Four algorithm families cover the classic implementations:
+
+* ``binomial``            -- binomial tree (bcast/scatter descend from the
+  root, reduce/gather climb to it, allreduce is reduce + bcast, barrier is
+  a zero-byte gather + bcast);
+* ``ring``                -- ring shifts (allgather moves one block per
+  round, allreduce is reduce-scatter + allgather over ``size / P`` blocks,
+  bcast is a store-and-forward pipeline);
+* ``recursive-doubling``  -- hypercube pairwise exchange (allreduce swaps
+  full payloads, allgather doubles the exchanged block per round, barrier
+  is the any-rank-count dissemination variant);
+* ``pairwise``            -- P-1 shifted exchange rounds (alltoall).
+
+Rank counts need not be powers of two: ``recursive-doubling`` simply skips
+partners outside the communicator (the standard simulator approximation),
+``ring``/``pairwise``/dissemination work for any count by construction, and
+the binomial tree is truncated at the communicator edge.  A single-rank
+collective has an empty schedule for every algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.tracing.records import COLLECTIVE_OPERATIONS
+
+#: One point-to-point transfer of a phase: (source rank, destination rank,
+#: payload bytes).
+Transfer = Tuple[int, int, int]
+#: Transfers that run concurrently between two phase barriers.
+Phase = List[Transfer]
+
+BINOMIAL = "binomial"
+RING = "ring"
+RECURSIVE_DOUBLING = "recursive-doubling"
+PAIRWISE = "pairwise"
+
+#: Which operations each algorithm family can lower.
+ALGORITHMS: Dict[str, Tuple[str, ...]] = {
+    BINOMIAL: ("barrier", "bcast", "reduce", "scatter", "gather", "allreduce"),
+    RING: ("bcast", "allgather", "allreduce"),
+    RECURSIVE_DOUBLING: ("barrier", "allreduce", "allgather"),
+    PAIRWISE: ("alltoall",),
+}
+
+#: The algorithm used for each operation unless the spec overrides it.
+DEFAULT_ALGORITHMS: Dict[str, str] = {
+    "barrier": RECURSIVE_DOUBLING,
+    "bcast": BINOMIAL,
+    "reduce": BINOMIAL,
+    "scatter": BINOMIAL,
+    "gather": BINOMIAL,
+    "allreduce": RECURSIVE_DOUBLING,
+    "allgather": RING,
+    "alltoall": PAIRWISE,
+}
+
+
+def supported_algorithms(operation: str) -> List[str]:
+    """Algorithm names that can lower ``operation``."""
+    if operation not in COLLECTIVE_OPERATIONS:
+        raise ConfigurationError(
+            f"unknown collective operation {operation!r} "
+            f"(known: {sorted(COLLECTIVE_OPERATIONS)})")
+    return sorted(name for name, operations in ALGORITHMS.items()
+                  if operation in operations)
+
+
+def _rounds(num_ranks: int) -> int:
+    """Number of doubling rounds spanning ``num_ranks`` (0 for one rank)."""
+    return math.ceil(math.log2(num_ranks)) if num_ranks > 1 else 0
+
+
+# -- binomial tree ------------------------------------------------------------
+
+def _binomial_descent(num_ranks: int, root: int, size: int) -> List[Phase]:
+    """Root-to-leaves phases of a binomial tree (bcast/scatter shape).
+
+    In round ``k`` every rank with virtual rank below ``2**k`` forwards to
+    virtual rank ``vr + 2**k``; virtual ranks are root-relative so any root
+    produces the same tree shape.
+    """
+    phases: List[Phase] = []
+    for k in range(_rounds(num_ranks)):
+        span = 1 << k
+        phase: Phase = []
+        for vr in range(span):
+            peer = vr + span
+            if peer >= num_ranks:
+                break
+            phase.append(((vr + root) % num_ranks,
+                          (peer + root) % num_ranks, size))
+        if phase:
+            phases.append(phase)
+    return phases
+
+
+def _binomial_ascent(num_ranks: int, root: int, size: int) -> List[Phase]:
+    """Leaves-to-root phases (reduce/gather shape): the descent reversed."""
+    phases = []
+    for phase in reversed(_binomial_descent(num_ranks, root, size)):
+        phases.append([(dst, src, size) for src, dst, size in phase])
+    return phases
+
+
+# -- ring ---------------------------------------------------------------------
+
+def _ring_shift(num_ranks: int, size: int, rounds: int) -> List[Phase]:
+    """``rounds`` phases of every rank sending one block to its successor."""
+    if num_ranks < 2 or rounds < 1:
+        return []
+    phase: Phase = [(rank, (rank + 1) % num_ranks, size)
+                    for rank in range(num_ranks)]
+    return [list(phase) for _ in range(rounds)]
+
+
+def _ring_pipeline(num_ranks: int, root: int, size: int) -> List[Phase]:
+    """Store-and-forward bcast pipeline around the ring (one hop per phase)."""
+    return [[((root + k) % num_ranks, (root + k + 1) % num_ranks, size)]
+            for k in range(num_ranks - 1)]
+
+
+# -- recursive doubling / dissemination ---------------------------------------
+
+def _recursive_doubling(num_ranks: int, sizes: List[int]) -> List[Phase]:
+    """Pairwise hypercube exchange; round ``k`` moves ``sizes[k]`` bytes.
+
+    Partners outside the communicator (non-power-of-two counts) are
+    skipped, so every round stays deadlock-free and the schedule still
+    terminates after ``ceil(log2(P))`` rounds.
+    """
+    phases: List[Phase] = []
+    for k, size in enumerate(sizes):
+        span = 1 << k
+        phase: Phase = []
+        for rank in range(num_ranks):
+            peer = rank ^ span
+            if peer < num_ranks and rank < peer:
+                phase.append((rank, peer, size))
+                phase.append((peer, rank, size))
+        if phase:
+            phases.append(phase)
+    return phases
+
+
+def _dissemination(num_ranks: int, size: int) -> List[Phase]:
+    """Dissemination rounds (any rank count): rank i -> (i + 2**k) mod P."""
+    phases: List[Phase] = []
+    for k in range(_rounds(num_ranks)):
+        span = 1 << k
+        phases.append([(rank, (rank + span) % num_ranks, size)
+                       for rank in range(num_ranks)])
+    return phases
+
+
+# -- pairwise exchange --------------------------------------------------------
+
+def _pairwise(num_ranks: int, size: int) -> List[Phase]:
+    """P-1 shifted rounds: in round k every rank sends to (rank + k) mod P."""
+    return [[(rank, (rank + k) % num_ranks, size)
+             for rank in range(num_ranks)]
+            for k in range(1, num_ranks)]
+
+
+# -- schedule construction ----------------------------------------------------
+
+def _block_size(size: int, num_ranks: int) -> int:
+    """Per-rank block of a reduce-scatter/allgather decomposition."""
+    if size <= 0:
+        return 0
+    return max(1, math.ceil(size / num_ranks))
+
+
+def build_schedule(operation: str, algorithm: str, size: int,
+                   num_ranks: int, root: int = 0) -> List[Phase]:
+    """Lower one collective into its point-to-point phase schedule.
+
+    ``size`` is the per-rank payload in bytes (the quantity the trace
+    records carry); ``root`` only matters for the rooted operations.
+    Unknown operations, unknown algorithms and unsupported
+    (operation, algorithm) combinations raise :class:`ConfigurationError`;
+    a single-rank collective returns an empty schedule.
+    """
+    if operation not in COLLECTIVE_OPERATIONS:
+        raise ConfigurationError(
+            f"unknown collective operation {operation!r} "
+            f"(known: {sorted(COLLECTIVE_OPERATIONS)})")
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown collective algorithm {algorithm!r} "
+            f"(known: {sorted(ALGORITHMS)})")
+    if operation not in ALGORITHMS[algorithm]:
+        raise ConfigurationError(
+            f"algorithm {algorithm!r} cannot lower {operation!r} "
+            f"(supported: {supported_algorithms(operation)})")
+    if num_ranks < 1:
+        raise ConfigurationError(f"collective over {num_ranks} ranks")
+    if size < 0:
+        raise ConfigurationError(f"negative collective size: {size}")
+    if not 0 <= root < num_ranks:
+        raise ConfigurationError(
+            f"collective root {root} outside 0..{num_ranks - 1}")
+    if num_ranks == 1:
+        return []
+
+    if algorithm == BINOMIAL:
+        if operation == "barrier":
+            return (_binomial_ascent(num_ranks, root, 0)
+                    + _binomial_descent(num_ranks, root, 0))
+        if operation in ("bcast", "scatter"):
+            return _binomial_descent(num_ranks, root, size)
+        if operation in ("reduce", "gather"):
+            return _binomial_ascent(num_ranks, root, size)
+        # allreduce: reduce to the root, then broadcast the result.
+        return (_binomial_ascent(num_ranks, root, size)
+                + _binomial_descent(num_ranks, root, size))
+    if algorithm == RING:
+        if operation == "bcast":
+            return _ring_pipeline(num_ranks, root, size)
+        if operation == "allgather":
+            return _ring_shift(num_ranks, size, num_ranks - 1)
+        # allreduce: reduce-scatter then allgather, one block per round.
+        block = _block_size(size, num_ranks)
+        return _ring_shift(num_ranks, block, 2 * (num_ranks - 1))
+    if algorithm == RECURSIVE_DOUBLING:
+        if operation == "barrier":
+            return _dissemination(num_ranks, 0)
+        rounds = _rounds(num_ranks)
+        if operation == "allreduce":
+            return _recursive_doubling(num_ranks, [size] * rounds)
+        # allgather: the exchanged block doubles every round.
+        return _recursive_doubling(
+            num_ranks, [size * (1 << k) for k in range(rounds)])
+    # pairwise alltoall.
+    return _pairwise(num_ranks, size)

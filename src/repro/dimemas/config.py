@@ -44,6 +44,9 @@ PLATFORM_FIELDS = {
     # Stored in the compact string form ("tree:radix=8,links=2"); Platform
     # parses it back into a TopologySpec.
     "topology": str,
+    # Stored in the compact string form ("decomposed:bcast=ring"); Platform
+    # parses it back into a CollectiveSpec.
+    "collective_model": str,
 }
 
 #: Backwards-compatible private alias.
@@ -57,6 +60,8 @@ def platform_to_config(platform: Platform) -> str:
         value = getattr(platform, field)
         if field == "topology":
             value = platform.topology.to_string()
+        elif field == "collective_model":
+            value = platform.collective_model.to_string()
         elif kind is bool:
             value = "true" if value else "false"
         lines.append(f"{field} = {value}")

@@ -36,19 +36,29 @@ class NetworkStatistics:
         self.total_transfer_time = 0.0
         self.total_queue_time = 0.0
         self.intranode_transfers = 0
+        #: Transfers injected by the decomposed collective backend (phases
+        #: of lowered collectives) as opposed to replayed point-to-point
+        #: messages; they cross the same hops but are attributed separately.
+        self.collective_transfers = 0
+        self.collective_bytes = 0
+        self.collective_transfer_time = 0.0
         #: Per-hop-class accumulators, keyed by hop name (e.g. ``net``,
         #: ``up0``, ``x+``): how many crossings and how long they queued.
         self.hop_transfers: Dict[str, int] = {}
         self.hop_queue_time: Dict[str, float] = {}
 
     def record(self, size: int, queue_time: float, transfer_time: float,
-               intranode: bool) -> None:
+               intranode: bool, collective: bool = False) -> None:
         self.transfers += 1
         self.bytes_transferred += size
         self.total_queue_time += queue_time
         self.total_transfer_time += transfer_time
         if intranode:
             self.intranode_transfers += 1
+        if collective:
+            self.collective_transfers += 1
+            self.collective_bytes += size
+            self.collective_transfer_time += transfer_time
 
     def record_hop(self, name: str, queue_time: float) -> None:
         self.hop_transfers[name] = self.hop_transfers.get(name, 0) + 1
@@ -68,6 +78,13 @@ class NetworkStatistics:
         """Fraction of transfers that stayed inside a node."""
         return self.intranode_transfers / self.transfers if self.transfers else 0.0
 
+    @property
+    def collective_share(self) -> float:
+        """Fraction of the transferred bytes carried by collective phases."""
+        if not self.bytes_transferred:
+            return 0.0
+        return self.collective_bytes / self.bytes_transferred
+
     def summary(self) -> Dict[str, float]:
         """The scalar counters surfaced by results and sweep tables."""
         return {
@@ -77,6 +94,9 @@ class NetworkStatistics:
             "mean_transfer_time": self.mean_transfer_time,
             "intranode_transfers": self.intranode_transfers,
             "intranode_share": self.intranode_share,
+            "collective_transfers": self.collective_transfers,
+            "collective_bytes": self.collective_bytes,
+            "collective_share": self.collective_share,
         }
 
 
@@ -97,7 +117,22 @@ class NetworkFabric:
         """Launch the transfer process for a matched message."""
         self.env.process(self._transfer(message), name="transfer")
 
-    def _transfer(self, message: Message):
+    def transfer_event(self, src: int, dst: int, size: int):
+        """Run one raw transfer outside the matcher; returns its arrival event.
+
+        This is the entry point of the decomposed collective backend: each
+        phase transfer of a lowered collective crosses the fabric exactly
+        like a matched point-to-point message (same routing, same hop
+        contention, same intranode shortcut) but is attributed to the
+        collective statistics and kept off the communication timeline (the
+        replay already records the enclosing COLLECTIVE interval).
+        """
+        message = Message(self.env, src=src, dst=dst, tag=-1, size=size)
+        self.env.process(self._transfer(message, collective=True),
+                         name="collective-transfer")
+        return message.arrived
+
+    def _transfer(self, message: Message, collective: bool = False):
         env = self.env
         timeout = env.schedule_timeout
         statistics = self.statistics
@@ -142,8 +177,8 @@ class NetworkFabric:
                 statistics.record_hop(hop.name, hop_queue)
         message.arrival_time = env._now
         message.arrived.succeed(env._now)
-        statistics.record(size, queue_time, duration, intranode)
-        if self.timeline is not None:
+        statistics.record(size, queue_time, duration, intranode, collective)
+        if self.timeline is not None and not collective:
             self.timeline.add_communication(
                 src=message.src, dst=message.dst, size=size,
                 tag=message.tag, send_time=message.transfer_start,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Union
 
+from repro.dimemas.collectives.base import CollectiveSpec
 from repro.dimemas.topology import TopologySpec
 from repro.errors import ConfigurationError
 
@@ -37,6 +38,12 @@ class Platform:
       :class:`~repro.dimemas.topology.TopologySpec`); the default ``flat``
       topology is the historical buses-plus-links model, ``tree`` and
       ``torus`` route transfers over multi-hop contended paths;
+    * ``collective_model`` selects how collective operations are costed
+      (see :class:`~repro.dimemas.collectives.base.CollectiveSpec`): the
+      default ``analytical`` model charges the closed-form Dimemas
+      formulas, ``decomposed`` lowers every collective into per-algorithm
+      point-to-point phases routed through the topology model, so
+      collective traffic contends with everything else;
     * ``mpi_overhead`` charges a fixed CPU cost (seconds) for every MPI call
       the trace replays.  The paper's time model deliberately ignores this
       overhead but notes that "the model can be extended to address these
@@ -59,6 +66,7 @@ class Platform:
     cpu_contention: bool = False
     mpi_overhead: float = 0.0
     topology: TopologySpec = TopologySpec()
+    collective_model: CollectiveSpec = CollectiveSpec()
 
     def __post_init__(self) -> None:
         if isinstance(self.topology, str):
@@ -69,6 +77,14 @@ class Platform:
             raise ConfigurationError(
                 f"topology must be a TopologySpec or its string form, "
                 f"got {self.topology!r}")
+        if isinstance(self.collective_model, str):
+            object.__setattr__(
+                self, "collective_model",
+                CollectiveSpec.parse(self.collective_model))
+        elif not isinstance(self.collective_model, CollectiveSpec):
+            raise ConfigurationError(
+                f"collective_model must be a CollectiveSpec or its string "
+                f"form, got {self.collective_model!r}")
         if self.relative_cpu_speed <= 0:
             raise ConfigurationError("relative_cpu_speed must be positive")
         if self.mpi_overhead < 0:
@@ -151,6 +167,12 @@ class Platform:
     def with_topology(self, topology: Union[TopologySpec, str]) -> "Platform":
         """A copy of this platform on a different interconnect topology."""
         return replace(self, topology=TopologySpec.parse(topology))
+
+    def with_collective_model(
+            self, collective_model: Union[CollectiveSpec, str]) -> "Platform":
+        """A copy of this platform with a different collective cost model."""
+        return replace(self,
+                       collective_model=CollectiveSpec.parse(collective_model))
 
     @classmethod
     def ideal_network(cls, name: str = "ideal") -> "Platform":

@@ -3,7 +3,10 @@
 Every rank of the trace becomes one DES process that walks its record list:
 computation bursts advance local time (scaled by the platform's relative CPU
 speed), point-to-point records go through the matcher and the network, and
-collective records synchronise through the :class:`CollectiveCoordinator`.
+collective records synchronise through the :class:`CollectiveCoordinator`,
+which applies the platform's pluggable collective cost model
+(:mod:`repro.dimemas.collectives`: closed-form ``analytical`` durations or
+``decomposed`` point-to-point phase schedules routed over the fabric).
 
 The per-rank walk is the hottest loop of the whole system (every sweep cell
 replays every record of every rank), so it is written as a fast path:
@@ -28,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.des import Environment, Event, Resource
 from repro.des.events import PENDING
-from repro.dimemas.collectives import collective_duration
+from repro.dimemas.collectives import build_collective_model
 from repro.dimemas.matching import MessageMatcher
 from repro.dimemas.messages import Message
 from repro.dimemas.network import NetworkFabric
@@ -86,19 +89,34 @@ class _CollectiveInstance:
     def __init__(self, env: Environment, index: int):
         self.index = index
         self.operation: Optional[str] = None
+        self.root = 0
+        self.size = 0
         self.count = 0
-        self.max_size = 0
         self.all_arrived = env.event(name=f"collective[{index}]")
         self.finish_time: float = 0.0
+        #: Per-rank departure events, set by completion-driven collective
+        #: models (the decomposed backend); ``None`` means the duration
+        #: contract applies (every rank leaves at ``finish_time``).
+        self.completions: Optional[List[Event]] = None
 
 
 class CollectiveCoordinator:
-    """Synchronises collective records across ranks and applies cost models."""
+    """Synchronises collective records across ranks and applies cost models.
 
-    def __init__(self, env: Environment, platform: Platform, num_ranks: int):
+    The coordinator owns arrival counting and trace-consistency checking;
+    *what the collective costs* is delegated to the pluggable
+    :class:`~repro.dimemas.collectives.CollectiveModel` selected by
+    ``platform.collective_model`` (the default analytical model reproduces
+    the historical closed-form behaviour bit for bit; the decomposed model
+    needs the replay's ``network`` fabric to route its phases).
+    """
+
+    def __init__(self, env: Environment, platform: Platform, num_ranks: int,
+                 network: Optional[NetworkFabric] = None):
         self.env = env
         self.platform = platform
         self.num_ranks = num_ranks
+        self.model = build_collective_model(env, platform, num_ranks, network)
         self._instances: Dict[int, _CollectiveInstance] = {}
 
     def enter(self, rank: int, record: CollectiveRecord, index: int) -> _CollectiveInstance:
@@ -109,10 +127,26 @@ class CollectiveCoordinator:
             self._instances[index] = instance
         if instance.operation is None:
             instance.operation = record.operation
-        elif instance.operation != record.operation:
-            raise SimulationError(
-                f"collective {index}: rank {rank} entered {record.operation!r} "
-                f"while others entered {instance.operation!r}")
+            instance.root = record.root
+            instance.size = record.size
+        else:
+            # The ranks of one collective must agree on what they entered;
+            # silently adopting the first arrival's parameters would turn a
+            # corrupt trace into a plausible-looking result.
+            if instance.operation != record.operation:
+                raise SimulationError(
+                    f"collective {index}: rank {rank} entered {record.operation!r} "
+                    f"while others entered {instance.operation!r}")
+            if instance.root != record.root:
+                raise SimulationError(
+                    f"collective {index} ({instance.operation}): rank {rank} "
+                    f"entered with root {record.root} while earlier ranks "
+                    f"used root {instance.root}")
+            if instance.size != record.size:
+                raise SimulationError(
+                    f"collective {index} ({instance.operation}): rank {rank} "
+                    f"entered with size {record.size} while earlier ranks "
+                    f"used size {instance.size}")
         instance.count += 1
         if instance.count > self.num_ranks:
             raise SimulationError(
@@ -120,12 +154,8 @@ class CollectiveCoordinator:
                 f"{self.num_ranks} ranks (rank {rank} entered "
                 f"{record.operation!r} after the collective already "
                 f"completed; the traces have mismatched collective counts)")
-        instance.max_size = max(instance.max_size, record.size)
         if instance.count == self.num_ranks:
-            duration = collective_duration(
-                instance.operation, instance.max_size, self.num_ranks, self.platform)
-            instance.finish_time = self.env.now + duration
-            instance.all_arrived.succeed(self.env.now)
+            self.model.launch(instance)
         return instance
 
 
@@ -154,7 +184,8 @@ class ReplayEngine:
             self.env, platform, trace.num_ranks,
             self.timeline if collect_timeline else None)
         self.matcher = MessageMatcher(self.env, platform, self.network)
-        self.coordinator = CollectiveCoordinator(self.env, platform, trace.num_ranks)
+        self.coordinator = CollectiveCoordinator(
+            self.env, platform, trace.num_ranks, network=self.network)
         self.timebase = TimeBase(trace.mips)
         self.stats = [RankStats(rank=r) for r in range(trace.num_ranks)]
         self._progress: List[int] = [0] * trace.num_ranks
@@ -322,9 +353,17 @@ class ReplayEngine:
                 collective_index += 1
                 stats.collectives += 1
                 yield instance.all_arrived
-                remaining = instance.finish_time - env._now
-                if remaining > 0:
-                    yield timeout(remaining)
+                completions = instance.completions
+                if completions is None:
+                    # Duration contract (analytical model): every rank
+                    # leaves at the instance's finish time.
+                    remaining = instance.finish_time - env._now
+                    if remaining > 0:
+                        yield timeout(remaining)
+                else:
+                    # Completion contract (decomposed model): this rank
+                    # leaves when its part of the phase schedule is done.
+                    yield completions[rank]
                 stats.collective_time += env._now - start
                 if collect:
                     add_interval(rank, start, env._now, ThreadState.COLLECTIVE)

@@ -119,6 +119,7 @@ class SimulationResult:
         return {
             "platform": self.platform.name,
             "topology": self.platform.topology.to_string(),
+            "collective_model": self.platform.collective_model.to_string(),
             "bandwidth_mbps": self.platform.bandwidth_mbps,
             "latency": self.platform.latency,
             "num_ranks": self.num_ranks,
@@ -130,5 +131,7 @@ class SimulationResult:
             "mean_queue_time": self.network.get("mean_queue_time", 0.0),
             "mean_transfer_time": self.network.get("mean_transfer_time", 0.0),
             "intranode_share": self.network.get("intranode_share", 0.0),
+            "collective_transfers": self.network.get("collective_transfers", 0),
+            "collective_share": self.network.get("collective_share", 0.0),
             "label": self.metadata.get("label"),
         }

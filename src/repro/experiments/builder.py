@@ -95,6 +95,14 @@ class Experiment:
         self._kwargs["topologies"] = _flatten(specs)
         return self
 
+    def collective_models(self, *specs: str) -> "Experiment":
+        """Sweep collective cost models (``analytical``, ``decomposed:...``)."""
+        self._kwargs["collective_models"] = _flatten(specs)
+        return self
+
+    def collective_model(self, spec: str) -> "Experiment":
+        return self.collective_models(spec)
+
     def node_mappings(self, *processors_per_node: int) -> "Experiment":
         self._kwargs["node_mappings"] = _flatten(processors_per_node)
         return self

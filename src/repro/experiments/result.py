@@ -30,7 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Network counters carried per replay task, in tidy-row column order.
 NETWORK_COLUMNS = ("transfers", "bytes_transferred", "mean_queue_time",
-                   "mean_transfer_time", "intranode_share")
+                   "mean_transfer_time", "intranode_share",
+                   "collective_transfers", "collective_bytes",
+                   "collective_share")
 
 
 @dataclass(frozen=True)
@@ -42,10 +44,12 @@ class CellDims:
     latency: float
     eager_threshold: int
     cpu_speed: float
+    collective_model: str = "analytical"
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "topology": self.topology,
+            "collective_model": self.collective_model,
             "processors_per_node": self.processors_per_node,
             "latency": self.latency,
             "eager_threshold": self.eager_threshold,
@@ -120,6 +124,26 @@ class ExperimentResult:
                     "by_topology() needs one cell per topology; other axes "
                     "are swept too -- use select()/sweep() with filters")
             sweeps[cell.dims.topology] = cell.sweep
+        if not sweeps:
+            raise AnalysisError(f"no experiment cells match app={app!r}")
+        return sweeps
+
+    def by_collective_model(self, app: Optional[str] = None
+                            ) -> Dict[str, BandwidthSweep]:
+        """``{collective model: sweep}`` -- for backend-comparison tables.
+
+        Requires the (optionally app-filtered) cells to be distinguished by
+        collective model alone, i.e. no other axis swept.
+        """
+        cells = self.select(app=app)
+        sweeps: Dict[str, BandwidthSweep] = {}
+        for cell in cells:
+            if cell.dims.collective_model in sweeps:
+                raise AnalysisError(
+                    "by_collective_model() needs one cell per collective "
+                    "model; other axes are swept too -- use "
+                    "select()/sweep() with filters")
+            sweeps[cell.dims.collective_model] = cell.sweep
         if not sweeps:
             raise AnalysisError(f"no experiment cells match app={app!r}")
         return sweeps

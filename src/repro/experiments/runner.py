@@ -8,9 +8,10 @@ and study drivers, the CLI and the fluent builder: it expands an
 across every axis), and folds the task results back into an
 :class:`~repro.experiments.result.ExperimentResult`.
 
-Grid expansion order is part of the contract: topology is the outermost
-axis, then node mapping, latency, eager threshold and CPU speed, with
-bandwidth innermost.  A spec that only sweeps bandwidth therefore produces
+Grid expansion order is part of the contract: collective model is the
+outermost axis, then topology, node mapping, latency, eager threshold and
+CPU speed, with bandwidth innermost.  A spec that only sweeps bandwidth
+therefore produces
 exactly the platform list of the legacy ``run_bandwidth_sweep``, and a spec
 that sweeps topologies x bandwidths produces exactly the list of
 ``run_topology_sweep`` -- which is what keeps the new API bit-identical to
@@ -123,6 +124,8 @@ def expand_grid(spec: ExperimentSpec, base: Platform
     contiguous slice of the flat list, ``points_per_cell`` long, so task
     ``point`` ordinals map back to cells by integer division.
     """
+    collective_models = (spec.collective_models
+                         or (base.collective_model.to_string(),))
     topologies = spec.topologies or (base.topology.to_string(),)
     node_mappings = spec.node_mappings or (base.processors_per_node,)
     latencies = spec.latencies or (base.latency,)
@@ -132,24 +135,28 @@ def expand_grid(spec: ExperimentSpec, base: Platform
 
     cells: List[CellDims] = []
     platforms: List[Platform] = []
-    for topology in topologies:
-        on_topology = base.with_topology(topology)
-        for node_mapping in node_mappings:
-            mapped = on_topology.with_processors_per_node(node_mapping)
-            for latency in latencies:
-                with_latency = mapped.with_latency(latency)
-                for eager in eager_thresholds:
-                    with_eager = with_latency.with_eager_threshold(eager)
-                    for cpu_speed in cpu_speeds:
-                        cell_platform = with_eager.with_cpu_speed(cpu_speed)
-                        cells.append(CellDims(
-                            topology=topology,
-                            processors_per_node=node_mapping,
-                            latency=latency,
-                            eager_threshold=eager,
-                            cpu_speed=cpu_speed))
-                        platforms.extend(cell_platform.with_bandwidth(bandwidth)
-                                         for bandwidth in bandwidths)
+    for collective_model in collective_models:
+        on_model = base.with_collective_model(collective_model)
+        for topology in topologies:
+            on_topology = on_model.with_topology(topology)
+            for node_mapping in node_mappings:
+                mapped = on_topology.with_processors_per_node(node_mapping)
+                for latency in latencies:
+                    with_latency = mapped.with_latency(latency)
+                    for eager in eager_thresholds:
+                        with_eager = with_latency.with_eager_threshold(eager)
+                        for cpu_speed in cpu_speeds:
+                            cell_platform = with_eager.with_cpu_speed(cpu_speed)
+                            cells.append(CellDims(
+                                topology=topology,
+                                processors_per_node=node_mapping,
+                                latency=latency,
+                                eager_threshold=eager,
+                                cpu_speed=cpu_speed,
+                                collective_model=collective_model))
+                            platforms.extend(
+                                cell_platform.with_bandwidth(bandwidth)
+                                for bandwidth in bandwidths)
     return cells, platforms, len(bandwidths)
 
 
@@ -157,6 +164,8 @@ def _task_label(app_label: str, variant: str, platform: Platform) -> str:
     label = f"{app_label}:{variant}@{platform.bandwidth_mbps}MBps"
     if platform.topology.kind != "flat":
         label += f"/{platform.topology.kind}"
+    if platform.collective_model.kind != "analytical":
+        label += f"/{platform.collective_model.kind}"
     return label
 
 
@@ -174,11 +183,15 @@ def _metrics_from_result(task: SweepTask, result: SimulationResult) -> SweepTask
         worker_pid=os.getpid(),
         point=task.point,
         topology=task.platform.topology.kind,
+        collective_model=task.platform.collective_model.to_string(),
         transfers=network.get("transfers", 0),
         bytes_transferred=network.get("bytes_transferred", 0),
         mean_queue_time=network.get("mean_queue_time", 0.0),
         mean_transfer_time=network.get("mean_transfer_time", 0.0),
-        intranode_share=network.get("intranode_share", 0.0))
+        intranode_share=network.get("intranode_share", 0.0),
+        collective_transfers=network.get("collective_transfers", 0),
+        collective_bytes=network.get("collective_bytes", 0),
+        collective_share=network.get("collective_share", 0.0))
 
 
 def run_experiment(spec: ExperimentSpec,
@@ -258,6 +271,7 @@ def run_experiment(spec: ExperimentSpec,
 
     mechanism_label = "+".join(spec.mechanisms)
     topology_keys = [cell.topology for cell in cells]
+    collective_model_keys = [cell.collective_model for cell in cells]
     metadata = {
         "mechanism": mechanism_label,
         "chunking": environment.chunking.describe(),
@@ -284,6 +298,9 @@ def run_experiment(spec: ExperimentSpec,
                     "num_ranks": app.num_ranks,
                     "topology": dims.topology,
                     "topologies": list(dict.fromkeys(topology_keys)),
+                    "collective_model": dims.collective_model,
+                    "collective_models": list(
+                        dict.fromkeys(collective_model_keys)),
                 })
             result_cells.append(ExperimentCell(app=app_label, dims=dims,
                                                sweep=sweep))

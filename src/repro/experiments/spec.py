@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, Mapping, Tuple, Union
 
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.patterns import ComputationPattern
+from repro.dimemas.collectives import CollectiveSpec
 from repro.dimemas.config import PLATFORM_FIELDS
 from repro.dimemas.topology import TopologySpec
 from repro.errors import ConfigurationError
@@ -38,8 +39,9 @@ CHUNKING_POLICIES: Dict[str, Tuple[str, ...]] = {
 #: The serialized form's sections, and which spec fields live in each.
 _SECTIONS: Dict[str, Tuple[str, ...]] = {
     "experiment": ("apps", "seeds", "bandwidths", "latencies", "topologies",
-                   "node_mappings", "eager_thresholds", "cpu_speeds",
-                   "patterns", "mechanisms", "jobs", "collect_timelines"),
+                   "collective_models", "node_mappings", "eager_thresholds",
+                   "cpu_speeds", "patterns", "mechanisms", "jobs",
+                   "collect_timelines"),
     "app": ("app_options",),
     "platform": ("platform",),
     "chunking": ("chunking",),
@@ -99,12 +101,13 @@ class ExperimentSpec:
 
     Axis semantics:
 
-    * ``bandwidths``/``latencies``/``topologies``/``node_mappings``/
-      ``eager_thresholds``/``cpu_speeds`` form the platform grid.  An empty
-      axis means "the base platform's value"; the grid is the cross-product
-      of the non-empty axes, expanded topology-outermost and
-      bandwidth-innermost so a single-axis spec reproduces the legacy sweep
-      drivers point for point.
+    * ``bandwidths``/``latencies``/``topologies``/``collective_models``/
+      ``node_mappings``/``eager_thresholds``/``cpu_speeds`` form the
+      platform grid.  An empty axis means "the base platform's value"; the
+      grid is the cross-product of the non-empty axes, expanded
+      collective-model-outermost (then topology) and bandwidth-innermost so
+      a single-axis spec reproduces the legacy sweep drivers point for
+      point.
     * ``patterns`` and ``mechanisms`` form the variant axis: every traced
       run is replayed as ``original`` plus one overlapped trace per
       (pattern, mechanism) combination.
@@ -131,6 +134,7 @@ class ExperimentSpec:
     bandwidths: Tuple[float, ...] = ()
     latencies: Tuple[float, ...] = ()
     topologies: Tuple[str, ...] = ()
+    collective_models: Tuple[str, ...] = ()
     node_mappings: Tuple[int, ...] = ()
     eager_thresholds: Tuple[int, ...] = ()
     cpu_speeds: Tuple[float, ...] = ()
@@ -151,6 +155,9 @@ class ExperimentSpec:
         set_(self, "topologies", tuple(
             TopologySpec.parse(t).to_string()
             for t in _tuple_of(self.topologies, str, "topologies")))
+        set_(self, "collective_models", tuple(
+            CollectiveSpec.parse(m).to_string()
+            for m in _tuple_of(self.collective_models, str, "collective_models")))
         set_(self, "node_mappings", _tuple_of(self.node_mappings, int, "node_mappings"))
         set_(self, "eager_thresholds",
              _tuple_of(self.eager_thresholds, int, "eager_thresholds"))
@@ -174,6 +181,7 @@ class ExperimentSpec:
                 raise ConfigurationError(f"{field} must be non-negative")
         _unique(self.latencies, "latencies")
         _unique(self.topologies, "topologies")
+        _unique(self.collective_models, "collective_models")
         _unique(self.node_mappings, "node_mappings")
         _unique(self.eager_thresholds, "eager_thresholds")
         _unique(self.cpu_speeds, "cpu_speeds")
@@ -248,7 +256,8 @@ class ExperimentSpec:
         """The canonical nested-dict form (inverse of :meth:`from_dict`)."""
         experiment: Dict[str, Any] = {"apps": list(self.apps)}
         for field in ("seeds", "bandwidths", "latencies", "topologies",
-                      "node_mappings", "eager_thresholds", "cpu_speeds"):
+                      "collective_models", "node_mappings",
+                      "eager_thresholds", "cpu_speeds"):
             values = getattr(self, field)
             if values:
                 experiment[field] = list(values)
@@ -350,7 +359,8 @@ class ExperimentSpec:
         """A compact summary used by reports and the CLI."""
         axes = {field: len(getattr(self, field)) or 1
                 for field in ("bandwidths", "latencies", "topologies",
-                              "node_mappings", "eager_thresholds", "cpu_speeds")}
+                              "collective_models", "node_mappings",
+                              "eager_thresholds", "cpu_speeds")}
         grid_points = 1
         for size in axes.values():
             grid_points *= size

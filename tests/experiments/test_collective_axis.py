@@ -1,0 +1,141 @@
+"""The ``collective_models`` experiment axis, end to end.
+
+Spec serialization, grid expansion (collective model outermost), the
+``by_collective_model`` accessor, tidy-export columns, CLI flags and
+bit-identical results across worker counts.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import AnalysisError, ConfigurationError
+from repro.experiments import Experiment, ExperimentSpec, run_experiment
+
+
+def _spec(**overrides):
+    values = dict(apps=("allreduce-ring",),
+                  app_options={"num_ranks": 4, "iterations": 2},
+                  bandwidths=(50.0, 500.0),
+                  collective_models=("analytical", "decomposed"),
+                  patterns=("ideal",))
+    values.update(overrides)
+    return ExperimentSpec(**values)
+
+
+class TestSpecAxis:
+    def test_normalised_to_canonical_strings(self):
+        spec = _spec(collective_models=(" decomposed:bcast=ring ",))
+        assert spec.collective_models == ("decomposed:bcast=ring",)
+
+    def test_round_trips_through_json_and_toml(self):
+        spec = _spec()
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            _spec(collective_models=("decomposed", "decomposed"))
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown collective model"):
+            _spec(collective_models=("magic",))
+
+    def test_axis_multiplies_grid_points(self):
+        # 2 bandwidths x 2 collective models (x 2 topologies).
+        assert _spec().describe()["grid_points"] == 4
+        assert _spec(topologies=("flat", "torus")).describe()["grid_points"] == 8
+
+    def test_builder_sets_the_axis(self):
+        spec = (Experiment.for_app("allreduce-ring", num_ranks=4)
+                .collective_models("analytical", "decomposed")
+                .build())
+        assert spec.collective_models == ("analytical", "decomposed")
+
+
+class TestRunnerAndResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(_spec())
+
+    def test_one_cell_per_model(self, result):
+        assert [cell.dims.collective_model for cell in result.cells] == [
+            "analytical", "decomposed"]
+
+    def test_by_collective_model_accessor(self, result):
+        sweeps = result.by_collective_model()
+        assert sorted(sweeps) == ["analytical", "decomposed"]
+        assert all(len(sweep.points) == 2 for sweep in sweeps.values())
+
+    def test_accessor_rejects_ambiguous_grids(self):
+        grid = run_experiment(_spec(topologies=("flat", "torus"),
+                                    bandwidths=(100.0,)))
+        with pytest.raises(AnalysisError, match="one cell per collective"):
+            grid.by_collective_model()
+
+    def test_models_differ_and_traffic_is_attributed(self, result):
+        sweeps = result.by_collective_model()
+        analytical = sweeps["analytical"].points[0]
+        decomposed = sweeps["decomposed"].points[0]
+        assert analytical.time("original") != decomposed.time("original")
+        assert analytical.network_stat("original", "collective_share") == 0.0
+        assert decomposed.network_stat("original", "collective_share") > 0.0
+
+    def test_tidy_rows_carry_the_axis(self, result):
+        rows = result.to_rows()
+        assert {row["collective_model"] for row in rows} == {
+            "analytical", "decomposed"}
+        assert all("collective_share" in row for row in rows)
+
+    def test_single_model_spec_keeps_cell_shape(self):
+        result = run_experiment(_spec(collective_models=()))
+        assert [cell.dims.collective_model for cell in result.cells] == [
+            "analytical"]
+
+    def test_jobs_do_not_change_results(self):
+        serial = run_experiment(_spec())
+        parallel = run_experiment(_spec(jobs=2))
+        serial_rows = serial.to_rows()
+        parallel_rows = parallel.to_rows()
+        for row in serial_rows + parallel_rows:
+            row.pop("task_seconds")
+        assert serial_rows == parallel_rows
+
+
+class TestCli:
+    def test_sweep_across_collective_models(self, capsys):
+        code = main(["sweep", "--app", "allreduce-ring", "--ranks", "4",
+                     "--iterations", "2", "--samples", "2",
+                     "--min-bandwidth", "50", "--max-bandwidth", "500",
+                     "--collective-models", "analytical,decomposed"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "collective model comparison" in out
+        assert "analytical" in out and "decomposed" in out
+        assert "collective byte share" in out
+
+    def test_sweep_across_models_and_topologies(self, capsys):
+        code = main(["sweep", "--app", "allreduce-ring", "--ranks", "4",
+                     "--iterations", "1", "--samples", "2",
+                     "--topologies", "flat,torus",
+                     "--collective-models", "analytical,decomposed"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "collective_model=decomposed" in out
+        assert "topology=torus" in out
+
+    def test_simulate_reports_collective_model(self, tmp_path, capsys):
+        trace_path = tmp_path / "ring.json"
+        assert main(["trace", "--app", "allreduce-ring", "--ranks", "4",
+                     "--iterations", "2", "--output", str(trace_path)]) == 0
+        assert main(["simulate", "--trace", str(trace_path),
+                     "--collective-model", "decomposed:allreduce=ring"]) == 0
+        out = capsys.readouterr().out
+        assert "decomposed:allreduce=ring" in out
+        assert "collective_share" in out
+
+    def test_bad_model_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--app", "allreduce-ring",
+                  "--collective-model", "magic"])
+        assert excinfo.value.code == 2
+        assert "unknown collective model" in capsys.readouterr().err
