@@ -18,6 +18,7 @@ loads one from a JSON/TOML file.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -37,9 +38,18 @@ from repro.dimemas.platform import Platform
 from repro.dimemas.topology import TOPOLOGIES, TopologySpec, split_topology_list
 from repro.dimemas.simulator import DimemasSimulator
 from repro.errors import ReproError
-from repro.experiments import Experiment, ExperimentSpec, run_experiment
+from repro.experiments import (
+    Experiment,
+    ExperimentSpec,
+    preview_experiment,
+    run_experiment,
+)
 from repro.paraver.prv import export_prv
+from repro.store import FileResultStore, open_store
 from repro.tracing.trace import Trace
+
+#: Environment variable supplying the default ``--cache-dir``.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
     study.add_argument("--mechanism", default="full",
                        choices=["full", "early-send", "late-receive"])
     _add_jobs_argument(study)
+    _add_cache_arguments(study)
 
     sweep = subparsers.add_parser(
         "sweep", help="speedup-versus-bandwidth sweep for one application")
@@ -93,6 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "traced run under every model and prints "
                             "per-model columns")
     _add_jobs_argument(sweep)
+    _add_cache_arguments(sweep)
 
     run = subparsers.add_parser(
         "run", help="execute a declarative experiment spec file (JSON/TOML)")
@@ -112,6 +124,24 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the tidy result rows as CSV")
     run.add_argument("--quiet", action="store_true",
                      help="only print the summary, not the per-cell tables")
+    run.add_argument("--dry-run", action="store_true",
+                     help="print the expanded grid (cell keys, cached vs "
+                          "missing counts) without simulating anything")
+    _add_cache_arguments(run)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or maintain the persistent result cache")
+    cache.add_argument("action", choices=["stats", "prune", "verify"],
+                       help="stats: entry count and size; prune: delete "
+                            "entries; verify: check entry integrity")
+    cache.add_argument("--cache-dir", default=None,
+                       help="result cache directory "
+                            f"(default: ${CACHE_DIR_ENV})")
+    cache.add_argument("--older-than-days", type=float, default=None,
+                       help="prune only entries older than this many days "
+                            "(default: prune everything)")
+    cache.add_argument("--delete", action="store_true",
+                       help="verify: also delete the corrupt entries found")
 
     simulate = subparsers.add_parser(
         "simulate", help="replay a previously saved trace file")
@@ -148,6 +178,32 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for the replays "
                              "(1 = serial, 0 = all cores); results are "
                              "identical to the serial run")
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache directory: cached "
+                             "cells are returned without simulating, "
+                             "missing cells are replayed and stored "
+                             f"(default: ${CACHE_DIR_ENV} if set, else no "
+                             "caching); results are identical either way")
+    parser.add_argument("--no-cache", action="store_true",
+                        help=f"disable the result cache even when "
+                             f"${CACHE_DIR_ENV} is set")
+
+
+def _resolve_store(args: argparse.Namespace,
+                   required: bool = False) -> Optional[FileResultStore]:
+    """The result store the cache flags select (honouring the env default)."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(CACHE_DIR_ENV)
+    if cache_dir is None:
+        if required:
+            raise ReproError(
+                f"no cache directory: pass --cache-dir or set ${CACHE_DIR_ENV}")
+        return None
+    return open_store(cache_dir)
 
 
 def _parse_topology(text: str) -> TopologySpec:
@@ -282,7 +338,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     spec = _experiment_from_args(args).mechanism(args.mechanism).build()
-    result = run_experiment(spec, full_results=True)
+    store = _resolve_store(args)
+    if store is not None:
+        print("note: studies keep full timelines, which the result cache "
+              "does not hold -- replaying uncached")
+    result = run_experiment(spec, full_results=True, store=store)
     study = result.studies()[args.app]
     print(study.summary())
     if args.gantt:
@@ -295,17 +355,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     builder = _experiment_from_args(args)
     builder.bandwidths(geometric_bandwidths(
         args.min_bandwidth, args.max_bandwidth, args.samples))
+    store = _resolve_store(args)
     if args.topologies:
         builder.topologies(split_topology_list(args.topologies))
     if args.collective_models:
         builder.collective_models(split_collective_list(args.collective_models))
     if args.topologies and args.collective_models:
-        return _print_grid_sweep(run_experiment(builder.build()))
+        return _print_grid_sweep(run_experiment(builder.build(), store=store))
     if args.topologies:
-        return _print_topology_sweep(run_experiment(builder.build()))
+        return _print_topology_sweep(run_experiment(builder.build(), store=store))
     if args.collective_models:
-        return _print_collective_sweep(run_experiment(builder.build()))
-    result = run_experiment(builder.build())
+        return _print_collective_sweep(run_experiment(builder.build(), store=store))
+    result = run_experiment(builder.build(), store=store)
     sweep = result.sweep()
     print(sweep_table(sweep))
     print()
@@ -387,7 +448,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{described['grid_points']} grid point(s) x "
           f"{described['variants']} variant(s) = "
           f"{described['replays']} replays (jobs={spec.jobs})")
-    result = run_experiment(spec)
+    store = _resolve_store(args)
+    if args.dry_run:
+        return _print_dry_run(spec, store)
+    result = run_experiment(spec, store=store)
     if not args.quiet:
         for cell in result.cells:
             print()
@@ -404,6 +468,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result.to_csv(args.csv_output)
         print(f"wrote tidy rows to {args.csv_output}")
     return 0
+
+
+def _print_dry_run(spec: ExperimentSpec,
+                   store: Optional[FileResultStore]) -> int:
+    """``run --dry-run``: the expanded grid and its cache status, no replays."""
+    preview = preview_experiment(spec, store=store)
+    rows = [[key.short(), _task_cell_label(task), preview.statuses[task.index]]
+            for task, key in zip(preview.plan.tasks, preview.keys)]
+    print(format_table(["cell key", "task", "status"], rows,
+                       title="expanded grid (dry run -- nothing simulated)"))
+    print()
+    if store is None:
+        print(f"{len(rows)} task(s); no cache attached "
+              f"(pass --cache-dir or set ${CACHE_DIR_ENV})")
+    else:
+        print(f"{len(rows)} task(s): {preview.hits} cached, "
+              f"{preview.misses} missing ({store.location})")
+    return 0
+
+
+def _task_cell_label(task) -> str:
+    platform = task.platform
+    return (f"{task.label} "
+            f"[{platform.topology.to_string()}, "
+            f"{platform.collective_model.to_string()}, "
+            f"ppn={platform.processors_per_node}]")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _resolve_store(args, required=True)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [["location", stats.location],
+                ["entries", stats.entries],
+                ["total bytes", stats.total_bytes]]
+        print(format_table(["metric", "value"], rows, title="result cache"))
+        return 0
+    if args.action == "prune":
+        older_than = (args.older_than_days * 86400.0
+                      if args.older_than_days is not None else None)
+        removed = store.prune(older_than_seconds=older_than)
+        scope = (f"older than {args.older_than_days:g} day(s)"
+                 if args.older_than_days is not None else "all entries")
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"({scope}) from {store.location}")
+        return 0
+    ok, bad = store.verify(delete=args.delete)
+    print(f"verified {store.location}: {ok} entr{'y' if ok == 1 else 'ies'} "
+          f"ok, {len(bad)} corrupt")
+    for digest in bad:
+        print(f"  corrupt: {digest}" + (" (deleted)" if args.delete else ""))
+    return 0 if not bad else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -455,6 +571,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "sweep": _cmd_sweep,
     "run": _cmd_run,
+    "cache": _cmd_cache,
     "simulate": _cmd_simulate,
     "profile": _cmd_profile,
 }

@@ -29,14 +29,29 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 from repro.core.analysis import ORIGINAL, SweepPoint
 from repro.dimemas.platform import Platform
 from repro.dimemas.results import SimulationResult
 from repro.dimemas.simulator import DimemasSimulator
 from repro.errors import AnalysisError, ConfigurationError
+from repro.store.serde import payload_of
 from repro.tracing.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.base import ResultStore
+    from repro.store.keys import CellKey
 
 
 def validate_variant_labels(labels: Iterable[str]) -> List[str]:
@@ -209,15 +224,25 @@ def _lookup_trace(traces: Dict[str, Any], key: str) -> Any:
 
 _TRACE_TABLE: Dict[str, Dict[str, Any]] = {}
 _TRACE_CACHE: Dict[str, Trace] = {}
+_TRACE_DIGESTS: Dict[str, str] = {}
 _SIMULATOR: Optional[DimemasSimulator] = None
+_STORE: Optional["ResultStore"] = None
+_CACHE_KEYS: Dict[int, "CellKey"] = {}
 
 
 def _init_worker(table: Dict[str, Dict[str, Any]],
-                 simulator: Optional[DimemasSimulator] = None) -> None:
-    global _TRACE_TABLE, _TRACE_CACHE, _SIMULATOR
+                 simulator: Optional[DimemasSimulator] = None,
+                 store: Optional["ResultStore"] = None,
+                 cache_keys: Optional[Dict[int, "CellKey"]] = None,
+                 digests: Optional[Dict[str, str]] = None) -> None:
+    global _TRACE_TABLE, _TRACE_CACHE, _TRACE_DIGESTS
+    global _SIMULATOR, _STORE, _CACHE_KEYS
     _TRACE_TABLE = table
     _TRACE_CACHE = {}
+    _TRACE_DIGESTS = digests or {}
     _SIMULATOR = simulator
+    _STORE = store
+    _CACHE_KEYS = cache_keys or {}
 
 
 def _worker_trace(key: str) -> Trace:
@@ -225,6 +250,13 @@ def _worker_trace(key: str) -> Trace:
     if trace is None:
         serialized = _lookup_trace(_TRACE_TABLE, key)
         trace = Trace.from_dict(serialized)
+        # Adopt the content digest the parent already computed (store-backed
+        # runs ship it): preparation is then shared by content, so a worker
+        # that sees the same trace content again -- under another variant
+        # key or across resumed sweeps -- never recompiles it.
+        digest = _TRACE_DIGESTS.get(key)
+        if digest is not None:
+            trace.adopt_digest(digest)
         # Normalise once per worker: every task this worker runs against the
         # variant reuses the prepared (opcode-tagged) record stream.
         trace.prepared()
@@ -232,12 +264,30 @@ def _worker_trace(key: str) -> Trace:
     return trace
 
 
+def _store_result(task: SweepTask, result: SweepTaskResult,
+                  store: Optional["ResultStore"],
+                  cache_keys: Dict[int, "CellKey"]) -> None:
+    """Write one finished task back through the result store (if keyed).
+
+    Results are persisted the moment they exist -- in the worker process,
+    before anything is shipped back -- so an interrupted sweep keeps every
+    completed cell and a re-run only replays the unfinished ones.
+    """
+    if store is None:
+        return
+    key = cache_keys.get(task.index)
+    if key is not None:
+        store.put(key, payload_of(result))
+
+
 def _run_task_full(task: SweepTask) -> SimulationResult:
     return _replay(task, _worker_trace(task.trace_key), _SIMULATOR)
 
 
 def _run_task_metrics(task: SweepTask) -> SweepTaskResult:
-    return _metrics(task, _worker_trace(task.trace_key), _SIMULATOR)
+    result = _metrics(task, _worker_trace(task.trace_key), _SIMULATOR)
+    _store_result(task, result, _STORE, _CACHE_KEYS)
+    return result
 
 
 class SweepExecutor:
@@ -289,7 +339,9 @@ class SweepExecutor:
     # -- execution ---------------------------------------------------------
     def execute(self, tasks: Sequence[SweepTask], traces: Dict[str, Trace],
                 full_results: bool = False,
-                simulator: Optional[DimemasSimulator] = None
+                simulator: Optional[DimemasSimulator] = None,
+                store: Optional["ResultStore"] = None,
+                cache_keys: Optional[Dict[int, "CellKey"]] = None
                 ) -> Union[List[SweepTaskResult], List[SimulationResult]]:
         """Run every task and return the results in task order.
 
@@ -299,20 +351,45 @@ class SweepExecutor:
         former, bandwidth sweeps only the latter.  ``simulator`` replays the
         tasks through a caller-supplied (picklable) simulator instead of a
         fresh :class:`DimemasSimulator` per task.
+
+        ``store`` plus ``cache_keys`` (task index -> :class:`CellKey`)
+        enables write-through: every finished metric result is persisted by
+        the process that computed it, immediately, which is what makes
+        interrupted sweeps resumable.  Full-result replays are never written
+        through (timelines are not cached).
         """
+        cache_keys = cache_keys or {}
+        if full_results:
+            store = None
         if self.jobs == 1 or len(tasks) <= 1:
             # Warm the preparation cache up front so the first task of a
             # variant is not charged for the normalisation of all of them.
+            # Store-backed runs hash the content first: the digest-keyed
+            # memo then shares one compiled stream across every Trace
+            # object with equal content, so a resumed or repeated sweep in
+            # the same process never recompiles a trace it has seen.
             for task in tasks:
-                _lookup_trace(traces, task.trace_key).prepared()
+                trace = _lookup_trace(traces, task.trace_key)
+                if store is not None:
+                    trace.digest()
+                trace.prepared()
             run = _replay if full_results else _metrics
-            return [run(task, _lookup_trace(traces, task.trace_key), simulator)
-                    for task in tasks]
+            results: List[Any] = []
+            for task in tasks:
+                result = run(task, _lookup_trace(traces, task.trace_key),
+                             simulator)
+                if not full_results:
+                    _store_result(task, result, store, cache_keys)
+                results.append(result)
+            return results
         worker = _run_task_full if full_results else _run_task_metrics
         table = {key: trace.to_dict() for key, trace in traces.items()}
+        digests = ({key: trace.digest() for key, trace in traces.items()}
+                   if store is not None else None)
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
                                  initializer=_init_worker,
-                                 initargs=(table, simulator)) as pool:
+                                 initargs=(table, simulator, store,
+                                           cache_keys, digests)) as pool:
             return list(pool.map(worker, tasks))
 
     # -- merging -----------------------------------------------------------

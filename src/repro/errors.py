@@ -31,3 +31,7 @@ class TransformError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis routine was given inconsistent inputs."""
+
+
+class StoreError(ReproError):
+    """The persistent result store could not be read or written."""

@@ -26,8 +26,18 @@ results, ``jobs > 1`` included.
 """
 
 from repro.experiments.builder import Experiment, log_spaced
-from repro.experiments.result import CellDims, ExperimentCell, ExperimentResult
-from repro.experiments.runner import run_experiment
+from repro.experiments.plan import ExperimentPlan, plan_experiment
+from repro.experiments.result import (
+    CellDims,
+    ExperimentCell,
+    ExperimentResult,
+    TaskProvenance,
+)
+from repro.experiments.runner import (
+    ExperimentPreview,
+    preview_experiment,
+    run_experiment,
+)
 from repro.experiments.spec import CHUNKING_POLICIES, ExperimentSpec, load_spec
 
 __all__ = [
@@ -35,9 +45,14 @@ __all__ = [
     "CellDims",
     "Experiment",
     "ExperimentCell",
+    "ExperimentPlan",
+    "ExperimentPreview",
     "ExperimentResult",
     "ExperimentSpec",
+    "TaskProvenance",
     "load_spec",
     "log_spaced",
+    "plan_experiment",
+    "preview_experiment",
     "run_experiment",
 ]

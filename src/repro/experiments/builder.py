@@ -29,6 +29,7 @@ from repro.experiments.spec import ExperimentSpec
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.environment import OverlapStudyEnvironment
     from repro.experiments.result import ExperimentResult
+    from repro.store.base import ResultStore
 
 
 def log_spaced(minimum: float, maximum: float, samples: int) -> List[float]:
@@ -162,8 +163,14 @@ class Experiment:
         return ExperimentSpec(**self._kwargs)
 
     def run(self, environment: Optional["OverlapStudyEnvironment"] = None,
-            full_results: bool = False) -> "ExperimentResult":
-        """Build the spec and execute it in one step."""
+            full_results: bool = False, store: Optional["ResultStore"] = None,
+            cache_dir: Optional[str] = None) -> "ExperimentResult":
+        """Build the spec and execute it in one step.
+
+        ``store``/``cache_dir`` attach the persistent result cache exactly
+        as on :func:`~repro.experiments.runner.run_experiment`.
+        """
         from repro.experiments.runner import run_experiment
         return run_experiment(self.build(), environment=environment,
-                              full_results=full_results)
+                              full_results=full_results, store=store,
+                              cache_dir=cache_dir)

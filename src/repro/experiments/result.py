@@ -58,6 +58,21 @@ class CellDims:
 
 
 @dataclass(frozen=True)
+class TaskProvenance:
+    """Where one replay task's result came from: the cache, or a simulation.
+
+    ``key`` is the task's :class:`~repro.store.keys.CellKey` digest;
+    ``cached`` is True for a store hit (no simulation ran for the task).
+    Only populated on runs executed with a result store attached.
+    """
+
+    index: int
+    label: str
+    key: str
+    cached: bool
+
+
+@dataclass(frozen=True)
 class ExperimentCell:
     """One application's bandwidth sweep at one grid-cell coordinate."""
 
@@ -88,6 +103,7 @@ class ExperimentResult:
     metadata: Dict[str, Any] = field(default_factory=dict)
     simulation_results: Optional[Tuple["SimulationResult", ...]] = None
     studies_by_app: Optional[Dict[str, "OverlapStudy"]] = None
+    provenance: Optional[Tuple[TaskProvenance, ...]] = None
 
     # -- cell selection ----------------------------------------------------
     def apps(self) -> List[str]:
@@ -169,6 +185,32 @@ class ExperimentResult:
                 "mechanism")
         return dict(self.studies_by_app)
 
+    # -- cache provenance --------------------------------------------------
+    def cache_stats(self) -> Dict[str, Any]:
+        """Hit/miss accounting of the run's result-store lookups.
+
+        ``{"enabled": bool, "hits": int, "misses": int}`` (plus the store
+        ``location`` when one was attached); an un-cached run reports zero
+        hits and one miss per task.
+        """
+        info = dict(self.metadata.get("cache") or {"enabled": False})
+        if self.provenance is not None:
+            info.setdefault("hits",
+                            sum(1 for entry in self.provenance if entry.cached))
+            info.setdefault("misses",
+                            sum(1 for entry in self.provenance
+                                if not entry.cached))
+        else:
+            info.setdefault("hits", 0)
+            info.setdefault("misses",
+                            sum(len(cell.sweep.points) for cell in self.cells)
+                            * len(self.variants))
+        return info
+
+    def cached_tasks(self) -> List[TaskProvenance]:
+        """Provenance entries of the tasks served from the store."""
+        return [entry for entry in (self.provenance or ()) if entry.cached]
+
     # -- tidy exports ------------------------------------------------------
     def to_rows(self) -> List[Dict[str, Any]]:
         """Tidy per-(cell, bandwidth, variant) rows for external analysis."""
@@ -194,8 +236,11 @@ class ExperimentResult:
         payload = {
             "spec": self.spec.to_dict(),
             "variants": list(self.variants),
+            # Run-local bookkeeping (wall time, cache hit/miss counts) is
+            # excluded so the exported JSON is identical for no-cache, cold
+            # and warm executions of the same spec.
             "metadata": {key: value for key, value in self.metadata.items()
-                         if key != "replay_wall_seconds"},
+                         if key not in ("replay_wall_seconds", "cache")},
             "rows": self.to_rows(),
         }
         text = json.dumps(payload, indent=indent) + "\n"
@@ -241,6 +286,12 @@ class ExperimentResult:
             replays = sum(len(cell.sweep.points) for cell in self.cells) * \
                 len(self.variants)
             lines.append(f"  replayed {replays} task(s) in {wall:.2f} s")
+        cache = self.metadata.get("cache") or {}
+        if cache.get("enabled"):
+            lines.append(
+                f"  result cache: {cache.get('hits', 0)} hit(s), "
+                f"{cache.get('misses', 0)} simulated "
+                f"({cache.get('location', '?')})")
         return "\n".join(lines)
 
     def _headline_variant(self) -> str:

@@ -1,21 +1,36 @@
-"""One runner for every experiment shape.
+"""One cache-aware runner for every experiment shape.
 
 :func:`run_experiment` is the single execution path behind the legacy sweep
-and study drivers, the CLI and the fluent builder: it expands an
-:class:`~repro.experiments.spec.ExperimentSpec` into the full
-(apps x platform grid x variants) task cross-product, executes it in one
-:class:`~repro.core.executor.SweepExecutor` pass (so a worker pool is shared
-across every axis), and folds the task results back into an
-:class:`~repro.experiments.result.ExperimentResult`.
+and study drivers, the CLI and the fluent builder.  It runs a four-stage
+pipeline:
+
+1. **plan** -- :func:`~repro.experiments.plan.plan_experiment` expands the
+   spec into the keyed (apps x platform grid x variants) task cross-product
+   without tracing or replaying anything;
+2. **lookup** -- with a result store attached (``store=`` or ``cache_dir=``),
+   every task's :class:`~repro.store.keys.CellKey` is consulted and cached
+   results are rehydrated without simulating;
+3. **execute** -- only the *missing* tasks flow into one
+   :class:`~repro.core.executor.SweepExecutor` pass (a worker pool shared
+   across every axis); workers write completed results back through the
+   store immediately, so an interrupted sweep resumes from the finished
+   cells on the next invocation of the same spec;
+4. **assemble** -- cached and fresh results are folded back, in task order,
+   into an :class:`~repro.experiments.result.ExperimentResult` with
+   per-task hit/miss provenance.
+
+The merge only depends on task indices, never on where a result came from,
+so the assembled scalars are bit-identical with the cache disabled, cold and
+warm, at any ``jobs`` count (the cache-correctness golden tests pin this).
 
 Grid expansion order is part of the contract: collective model is the
 outermost axis, then topology, node mapping, latency, eager threshold and
 CPU speed, with bandwidth innermost.  A spec that only sweeps bandwidth
-therefore produces
-exactly the platform list of the legacy ``run_bandwidth_sweep``, and a spec
-that sweeps topologies x bandwidths produces exactly the list of
-``run_topology_sweep`` -- which is what keeps the new API bit-identical to
-the old drivers (the golden-equivalence tests pin this).
+therefore produces exactly the platform list of the legacy
+``run_bandwidth_sweep``, and a spec that sweeps topologies x bandwidths
+produces exactly the list of ``run_topology_sweep`` -- which is what keeps
+the new API bit-identical to the old drivers (the golden-equivalence tests
+pin this).
 """
 
 from __future__ import annotations
@@ -23,150 +38,37 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
-from repro.core.analysis import BandwidthSweep, ORIGINAL
-from repro.core.chunking import ChunkingPolicy, FixedCountChunking, FixedSizeChunking
-from repro.core.executor import SweepExecutor, SweepTask, SweepTaskResult, validate_variant_labels
+from repro.core.analysis import BandwidthSweep
+from repro.core.executor import SweepExecutor, SweepTask, SweepTaskResult
 from repro.core.mechanisms import OverlapMechanism
-from repro.core.patterns import ComputationPattern
 from repro.dimemas.platform import Platform
 from repro.dimemas.results import SimulationResult
-from repro.errors import AnalysisError
-from repro.experiments.result import CellDims, ExperimentCell, ExperimentResult
+from repro.experiments.plan import (  # noqa: F401  (re-exported legacy surface)
+    ExperimentPlan,
+    VariantPlan,
+    build_chunking,
+    build_environment,
+    build_platform,
+    create_apps,
+    expand_grid,
+    plan_experiment,
+    variant_plans,
+)
+from repro.experiments.result import (
+    ExperimentCell,
+    ExperimentResult,
+    TaskProvenance,
+)
 from repro.experiments.spec import ExperimentSpec
-from repro.tracing.trace import Trace
+from repro.store import CellKey, ResultStore, open_store
+from repro.store.serde import result_kwargs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import ApplicationModel
     from repro.core.environment import OverlapStudyEnvironment
-
-
-@dataclass(frozen=True)
-class VariantPlan:
-    """One overlapped variant: its sweep label and how to generate it."""
-
-    label: str
-    pattern: ComputationPattern
-    mechanism: OverlapMechanism
-
-
-def variant_plans(spec: ExperimentSpec) -> List[VariantPlan]:
-    """The overlapped variants of a spec, in pattern-major order.
-
-    Labels follow the legacy drivers so existing reports keep working: with
-    a single mechanism the label is the pattern value (bandwidth sweeps),
-    with a single pattern and several mechanisms it is the mechanism label
-    (mechanism sweeps), and with both axes swept it is ``pattern+mechanism``.
-    """
-    patterns = [ComputationPattern.from_label(p) for p in spec.patterns]
-    mechanisms = [OverlapMechanism.from_label(m) for m in spec.mechanisms]
-    plans = []
-    for pattern in patterns:
-        for mechanism in mechanisms:
-            if len(mechanisms) == 1:
-                label = pattern.value
-            elif len(patterns) == 1:
-                label = mechanism.label
-            else:
-                label = f"{pattern.value}+{mechanism.label}"
-            plans.append(VariantPlan(label, pattern, mechanism))
-    validate_variant_labels(plan.label for plan in plans)
-    return plans
-
-
-def build_chunking(spec: ExperimentSpec) -> ChunkingPolicy:
-    """The chunking policy a spec's ``[chunking]`` section describes."""
-    options = spec.chunking_dict()
-    policy = options.pop("policy", "fixed-size")
-    if policy == "fixed-count":
-        return FixedCountChunking(**options)
-    return FixedSizeChunking(**options)
-
-
-def build_platform(spec: ExperimentSpec) -> Platform:
-    """The base platform a spec's ``[platform]`` section describes."""
-    return Platform(**spec.platform_dict())
-
-
-def build_environment(spec: ExperimentSpec) -> "OverlapStudyEnvironment":
-    """A study environment configured from the spec's platform and chunking."""
-    from repro.core.environment import OverlapStudyEnvironment
-    return OverlapStudyEnvironment(platform=build_platform(spec),
-                                   chunking=build_chunking(spec))
-
-
-def create_apps(spec: ExperimentSpec) -> List[Tuple[str, "ApplicationModel"]]:
-    """Instantiate the spec's apps (seed-expanded) as ``(label, app)`` pairs."""
-    options = spec.app_options_dict()
-    pairs: List[Tuple[str, "ApplicationModel"]] = []
-    for name in spec.apps:
-        if spec.seeds:
-            for seed in spec.seeds:
-                pairs.append((f"{name}@seed={seed}",
-                              _create(name, dict(options, seed=seed))))
-        else:
-            pairs.append((name, _create(name, options)))
-    return pairs
-
-
-def _create(name: str, options: Dict[str, object]) -> "ApplicationModel":
-    from repro.apps.registry import create_application
-
-    return create_application(name, **options)
-
-
-def expand_grid(spec: ExperimentSpec, base: Platform
-                ) -> Tuple[List[CellDims], List[Platform], int]:
-    """Expand the platform grid: cells, flat platform list, points per cell.
-
-    A *cell* fixes every axis but bandwidth; its platforms occupy one
-    contiguous slice of the flat list, ``points_per_cell`` long, so task
-    ``point`` ordinals map back to cells by integer division.
-    """
-    collective_models = (spec.collective_models
-                         or (base.collective_model.to_string(),))
-    topologies = spec.topologies or (base.topology.to_string(),)
-    node_mappings = spec.node_mappings or (base.processors_per_node,)
-    latencies = spec.latencies or (base.latency,)
-    eager_thresholds = spec.eager_thresholds or (base.eager_threshold,)
-    cpu_speeds = spec.cpu_speeds or (base.relative_cpu_speed,)
-    bandwidths = spec.bandwidths or (base.bandwidth_mbps,)
-
-    cells: List[CellDims] = []
-    platforms: List[Platform] = []
-    for collective_model in collective_models:
-        on_model = base.with_collective_model(collective_model)
-        for topology in topologies:
-            on_topology = on_model.with_topology(topology)
-            for node_mapping in node_mappings:
-                mapped = on_topology.with_processors_per_node(node_mapping)
-                for latency in latencies:
-                    with_latency = mapped.with_latency(latency)
-                    for eager in eager_thresholds:
-                        with_eager = with_latency.with_eager_threshold(eager)
-                        for cpu_speed in cpu_speeds:
-                            cell_platform = with_eager.with_cpu_speed(cpu_speed)
-                            cells.append(CellDims(
-                                topology=topology,
-                                processors_per_node=node_mapping,
-                                latency=latency,
-                                eager_threshold=eager,
-                                cpu_speed=cpu_speed,
-                                collective_model=collective_model))
-                            platforms.extend(
-                                cell_platform.with_bandwidth(bandwidth)
-                                for bandwidth in bandwidths)
-    return cells, platforms, len(bandwidths)
-
-
-def _task_label(app_label: str, variant: str, platform: Platform) -> str:
-    label = f"{app_label}:{variant}@{platform.bandwidth_mbps}MBps"
-    if platform.topology.kind != "flat":
-        label += f"/{platform.topology.kind}"
-    if platform.collective_model.kind != "analytical":
-        label += f"/{platform.collective_model.kind}"
-    return label
 
 
 def _metrics_from_result(task: SweepTask, result: SimulationResult) -> SweepTaskResult:
@@ -194,11 +96,77 @@ def _metrics_from_result(task: SweepTask, result: SimulationResult) -> SweepTask
         collective_share=network.get("collective_share", 0.0))
 
 
+def _result_from_payload(task: SweepTask, payload: Dict[str, object]
+                         ) -> Optional[SweepTaskResult]:
+    """Rehydrate a cached payload for ``task`` (``None`` -> treat as miss)."""
+    try:
+        kwargs = result_kwargs(payload)
+    except (KeyError, TypeError):
+        return None
+    return SweepTaskResult(index=task.index, variant=task.variant,
+                           point=task.point, worker_pid=os.getpid(), **kwargs)
+
+
+def _resolve_store(store: Optional[ResultStore],
+                   cache_dir: Optional[Union[str, Path]]
+                   ) -> Optional[ResultStore]:
+    if store is not None:
+        return store
+    return open_store(cache_dir)
+
+
+@dataclass(frozen=True)
+class ExperimentPreview:
+    """What ``run --dry-run`` shows: the keyed grid and its cache status.
+
+    ``statuses`` is index-aligned with ``plan.tasks`` and ``keys``; each
+    entry is ``"hit"``, ``"miss"`` or (without a store) ``"uncached"``.
+    """
+
+    plan: ExperimentPlan
+    keys: List[CellKey]
+    statuses: List[str]
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for status in self.statuses if status == "hit")
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for status in self.statuses if status == "miss")
+
+
+def preview_experiment(spec: ExperimentSpec,
+                       environment: Optional["OverlapStudyEnvironment"] = None,
+                       platform: Optional[Platform] = None,
+                       apps: Optional[Sequence["ApplicationModel"]] = None,
+                       store: Optional[ResultStore] = None,
+                       cache_dir: Optional[Union[str, Path]] = None
+                       ) -> ExperimentPreview:
+    """Plan ``spec`` and report per-task cache status without simulating.
+
+    Traces the apps (their content digests feed the keys) but never runs
+    an overlap transformation or a replay.
+    """
+    store = _resolve_store(store, cache_dir)
+    plan = plan_experiment(spec, environment=environment, platform=platform,
+                           apps=apps)
+    keys = plan.cell_keys()
+    if store is None:
+        statuses = ["uncached"] * len(keys)
+    else:
+        statuses = ["hit" if key in store else "miss" for key in keys]
+    return ExperimentPreview(plan=plan, keys=keys, statuses=statuses)
+
+
 def run_experiment(spec: ExperimentSpec,
                    environment: Optional["OverlapStudyEnvironment"] = None,
                    platform: Optional[Platform] = None,
                    apps: Optional[Sequence["ApplicationModel"]] = None,
-                   full_results: bool = False) -> ExperimentResult:
+                   full_results: bool = False,
+                   store: Optional[ResultStore] = None,
+                   cache_dir: Optional[Union[str, Path]] = None
+                   ) -> ExperimentResult:
     """Execute ``spec`` and return the typed result.
 
     ``environment``, ``platform`` and ``apps`` are injection points for the
@@ -210,88 +178,100 @@ def run_experiment(spec: ExperimentSpec,
     ``collect_timelines`` set implies ``full_results``; otherwise the
     replays run with the null timeline recorder (bit-identical scalars,
     no timeline cost).
+
+    ``store`` (or ``cache_dir``, which opens a
+    :class:`~repro.store.filestore.FileResultStore`) attaches the persistent
+    result cache: cached cells are returned without simulating, missing
+    cells are replayed and written back.  Full-results runs bypass the cache
+    (timelines are not cached) but still record why in the result metadata.
     """
     full_results = full_results or spec.collect_timelines
-    plans = variant_plans(spec)
-    if environment is None:
-        environment = build_environment(spec)
-    base_platform = platform or environment.platform
+    store = _resolve_store(store, cache_dir)
+    plan = plan_experiment(spec, environment=environment, platform=platform,
+                           apps=apps)
+    environment = plan.environment
+    use_cache = store is not None and not full_results
 
-    if apps is not None:
-        app_pairs = [(app.name, app) for app in apps]
-    else:
-        app_pairs = create_apps(spec)
-    labels = [label for label, _ in app_pairs]
-    if len(set(labels)) != len(labels):
-        raise AnalysisError(f"duplicate application names in batch: {labels}")
-
-    cells, flat_platforms, points_per_cell = expand_grid(spec, base_platform)
-    total_points = len(flat_platforms)
-
-    traces: Dict[str, Trace] = {}
-    tasks: List[SweepTask] = []
-    original_traces: Dict[str, Trace] = {}
-    overlapped_traces: Dict[str, Dict[str, Trace]] = {}
-    variant_labels = [ORIGINAL] + [plan.label for plan in plans]
-
-    for app_index, (app_label, app) in enumerate(app_pairs):
-        original = environment.trace(app)
-        original_traces[app_label] = original
-        overlapped_traces[app_label] = {}
-        app_variants: Dict[str, Trace] = {ORIGINAL: original}
-        for plan in plans:
-            overlapped = environment.overlap(
-                original, pattern=plan.pattern, mechanism=plan.mechanism)
-            overlapped_traces[app_label][plan.label] = overlapped
-            app_variants[plan.label] = overlapped
-        for key, trace in app_variants.items():
-            traces[f"{app_label}/{key}"] = trace
-        for offset, task_platform in enumerate(flat_platforms):
-            for key in app_variants:
-                tasks.append(SweepTask(
-                    index=len(tasks),
-                    variant=key,
-                    trace_key=f"{app_label}/{key}",
-                    platform=task_platform,
-                    label=_task_label(app_label, key, task_platform),
-                    point=app_index * total_points + offset))
-
-    executor = SweepExecutor(jobs=spec.jobs)
     start = time.perf_counter()
-    raw = executor.execute(tasks, traces, full_results=full_results,
-                           simulator=environment.simulator)
+
+    # -- lookup ------------------------------------------------------------
+    keys: Optional[List[CellKey]] = None
+    cached: Dict[int, SweepTaskResult] = {}
+    if use_cache:
+        keys = plan.cell_keys()
+        for task, key in zip(plan.tasks, keys):
+            payload = store.get(key)
+            if payload is None:
+                continue
+            rehydrated = _result_from_payload(task, payload)
+            if rehydrated is not None:
+                cached[task.index] = rehydrated
+    missing = [task for task in plan.tasks if task.index not in cached]
+
+    # -- execute -----------------------------------------------------------
+    executor = SweepExecutor(jobs=spec.jobs)
+    traces = plan.traces_for(missing)
+    raw = executor.execute(
+        missing, traces, full_results=full_results,
+        simulator=environment.simulator,
+        store=store if use_cache else None,
+        cache_keys=({task.index: keys[task.index] for task in missing}
+                    if use_cache else None))
     wall_seconds = time.perf_counter() - start
+
+    # -- assemble ----------------------------------------------------------
     if full_results:
         simulation_results: Optional[Tuple[SimulationResult, ...]] = tuple(raw)
         task_results = [_metrics_from_result(task, result)
-                        for task, result in zip(tasks, raw)]
+                        for task, result in zip(plan.tasks, raw)]
     else:
         simulation_results = None
-        task_results = list(raw)
+        fresh = {task.index: result for task, result in zip(missing, raw)}
+        task_results = [cached[index] if index in cached else fresh[index]
+                        for index in range(len(plan.tasks))]
 
     mechanism_label = "+".join(spec.mechanisms)
-    topology_keys = [cell.topology for cell in cells]
-    collective_model_keys = [cell.collective_model for cell in cells]
+    topology_keys = [cell.topology for cell in plan.cells]
+    collective_model_keys = [cell.collective_model for cell in plan.cells]
+    cache_meta: Dict[str, object] = {"enabled": use_cache}
+    if store is not None:
+        cache_meta["location"] = getattr(store, "location", str(store))
+        if full_results:
+            cache_meta["bypassed"] = "full-results runs are not cached"
+    if use_cache:
+        cache_meta["hits"] = len(cached)
+        cache_meta["misses"] = len(missing)
     metadata = {
         "mechanism": mechanism_label,
         "chunking": environment.chunking.describe(),
-        "platform": base_platform.name,
+        "platform": plan.base_platform.name,
         "jobs": executor.jobs,
         "replay_wall_seconds": wall_seconds,
+        "cache": cache_meta,
     }
 
+    provenance: Optional[Tuple[TaskProvenance, ...]] = None
+    if use_cache:
+        provenance = tuple(
+            TaskProvenance(index=task.index, label=task.label,
+                           key=keys[task.index].digest,
+                           cached=task.index in cached)
+            for task in plan.tasks)
+
     result_cells: List[ExperimentCell] = []
-    num_variants = len(variant_labels)
-    for app_index, (app_label, app) in enumerate(app_pairs):
+    num_variants = len(plan.variant_labels)
+    total_points = plan.total_points
+    points_per_cell = plan.points_per_cell
+    for app_index, (app_label, app) in enumerate(plan.app_pairs):
         app_base = app_index * total_points * num_variants
-        for cell_index, dims in enumerate(cells):
+        for cell_index, dims in enumerate(plan.cells):
             # Tasks are emitted point-major, variant-minor, apps contiguous,
             # so a cell's results occupy one contiguous slice.
             first = app_base + cell_index * points_per_cell * num_variants
             subset = task_results[first:first + points_per_cell * num_variants]
             sweep = BandwidthSweep(
                 app_name=app_label,
-                variants=list(variant_labels),
+                variants=list(plan.variant_labels),
                 points=executor.merge(subset),
                 metadata={
                     **metadata,
@@ -308,18 +288,19 @@ def run_experiment(spec: ExperimentSpec,
     studies = None
     if full_results and total_points == 1 and len(spec.mechanisms) == 1:
         studies = _assemble_studies(
-            app_pairs, plans, simulation_results, base_platform,
-            original_traces, overlapped_traces,
+            plan.app_pairs, plan.plans, simulation_results, plan.base_platform,
+            plan.original_traces(), plan.overlapped_traces(),
             OverlapMechanism.from_label(spec.mechanisms[0]))
 
     return ExperimentResult(
         spec=spec,
-        variants=variant_labels,
+        variants=plan.variant_labels,
         cells=tuple(result_cells),
-        metadata={**metadata, "apps": labels,
+        metadata={**metadata, "apps": plan.app_labels,
                   "grid_points": total_points},
         simulation_results=simulation_results,
-        studies_by_app=studies)
+        studies_by_app=studies,
+        provenance=provenance)
 
 
 def _assemble_studies(app_pairs, plans, results, base_platform,

@@ -1,0 +1,93 @@
+"""The persistent result-store interface.
+
+A :class:`ResultStore` maps content-addressed :class:`~repro.store.keys.CellKey`
+digests to the scalar metrics of one replayed experiment cell.  Because every
+cell is a pure function of its key's inputs (prepared-trace stream, platform
+point, variant derivation, simulator version salt), a stored payload can be
+returned for *any* later run that produces the same key -- across processes,
+sweeps and specs -- without replaying the cell.
+
+Implementations must be safe for concurrent writers: sweep workers write
+results back through the store as they finish, so an interrupted sweep leaves
+every completed cell behind and a re-run only replays the unfinished ones.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.store.keys import CellKey
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """One store's size summary (the ``repro-overlap cache stats`` payload)."""
+
+    location: str
+    entries: int
+    total_bytes: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"location": self.location, "entries": self.entries,
+                "total_bytes": self.total_bytes}
+
+
+class ResultStore(ABC):
+    """Persistent, content-addressed map from cell keys to result payloads.
+
+    Payloads are plain JSON-serialisable dicts (see :mod:`repro.store.serde`).
+    ``get`` returns ``None`` for missing *or unreadable* entries -- a corrupt
+    entry behaves like a miss, so a damaged cache degrades to recomputation
+    instead of failing the experiment (``verify`` reports the damage).
+    """
+
+    @abstractmethod
+    def get(self, key: CellKey) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or ``None``."""
+
+    @abstractmethod
+    def put(self, key: CellKey, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (atomically replacing any entry)."""
+
+    @abstractmethod
+    def __contains__(self, key: CellKey) -> bool:
+        """True if an entry exists under ``key`` (no payload validation)."""
+
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Digests of every stored entry (unspecified order)."""
+
+    @abstractmethod
+    def stats(self) -> StoreStats:
+        """Entry count and on-disk size of the store."""
+
+    @abstractmethod
+    def prune(self, older_than_seconds: Optional[float] = None) -> int:
+        """Delete entries (all, or only those older than the given age).
+
+        Returns the number of entries removed.
+        """
+
+    @abstractmethod
+    def verify(self, delete: bool = False) -> Tuple[int, List[str]]:
+        """Check every entry's integrity.
+
+        Returns ``(ok_count, bad_digests)``; with ``delete`` the corrupt
+        entries are removed as they are found.
+        """
+
+    # -- conveniences shared by all implementations ------------------------
+    def get_many(self, keys: Iterable[CellKey]
+                 ) -> Dict[str, Dict[str, Any]]:
+        """``{digest: payload}`` for every key that hits."""
+        found: Dict[str, Dict[str, Any]] = {}
+        for key in keys:
+            payload = self.get(key)
+            if payload is not None:
+                found[key.digest] = payload
+        return found
+
+    def close(self) -> None:
+        """Release any resources (no-op for stateless stores)."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -61,6 +62,33 @@ class PreparedTrace:
                 for record in rank_trace.records]
                for rank_trace in trace.ranks]
         return cls(ops=ops)
+
+
+# -- digest-keyed preparation sharing ------------------------------------------
+# Compiled record streams shared *by content* across Trace objects.  A sweep
+# worker (or a long-running experiment process) that deserialises the same
+# trace content repeatedly -- one Trace object per run -- reuses the compiled
+# stream instead of recompiling it, as long as the content digest is known
+# (either computed via :meth:`Trace.digest` or adopted from the producer of
+# the serialized form via :meth:`Trace.adopt_digest`).  Records are never
+# mutated after construction, so sharing by content is safe.
+_PREPARED_BY_DIGEST: Dict[str, PreparedTrace] = {}
+
+#: Cap on the shared-preparation memo; a long-running service replaying many
+#: distinct traces must not grow it without bound (reset, not LRU -- the
+#: memo is a fast-path, correctness never depends on a hit).
+_PREPARED_MEMO_LIMIT = 128
+
+
+def _share_prepared(digest: str, prepared: PreparedTrace) -> PreparedTrace:
+    """Register (or return the already-shared) preparation for ``digest``."""
+    shared = _PREPARED_BY_DIGEST.get(digest)
+    if shared is not None:
+        return shared
+    if len(_PREPARED_BY_DIGEST) >= _PREPARED_MEMO_LIMIT:
+        _PREPARED_BY_DIGEST.clear()
+    _PREPARED_BY_DIGEST[digest] = prepared
+    return prepared
 
 
 @dataclass
@@ -178,9 +206,55 @@ class Trace:
         """
         prepared = getattr(self, "_prepared", None)
         if prepared is None:
-            prepared = PreparedTrace.compile(self)
+            digest = getattr(self, "_digest", None)
+            if digest is not None:
+                prepared = _PREPARED_BY_DIGEST.get(digest)
+            if prepared is None:
+                prepared = PreparedTrace.compile(self)
+                if digest is not None:
+                    prepared = _share_prepared(digest, prepared)
             self._prepared = prepared
         return prepared
+
+    # -- content addressing --------------------------------------------------
+    def digest(self) -> str:
+        """A stable SHA-256 digest of the replay-relevant trace content.
+
+        Computed from the canonical serialisation of the prepared record
+        stream plus the trace's MIPS rate -- the two inputs that fully
+        determine replay results -- and *not* from ``metadata`` (labels,
+        provenance) or object identity: two traces with equal records hash
+        equally no matter how they were built.  The digest is cached on the
+        instance, and computing it registers this trace's compiled record
+        stream in a process-wide content-keyed memo, so later objects with
+        the same content (e.g. re-deserialised sweep variants) skip
+        recompilation (see :meth:`adopt_digest`).
+        """
+        digest = getattr(self, "_digest", None)
+        if digest is None:
+            payload = {
+                "mips": self.mips,
+                "ranks": [[record.to_dict() for _, record in rank_ops]
+                          for rank_ops in self.prepared().ops],
+            }
+            text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            self._digest = digest
+            self._prepared = _share_prepared(digest, self._prepared)
+        return digest
+
+    def adopt_digest(self, digest: str) -> "Trace":
+        """Adopt a digest computed by the producer of this trace's content.
+
+        Sweep workers receive serialized traces whose digest the parent
+        process already computed; adopting it (instead of re-hashing) lets
+        :meth:`prepared` reuse a content-identical compiled stream and makes
+        the later :meth:`digest` call free.  The caller asserts the digest
+        matches the content -- adopt only digests produced by
+        :meth:`digest` on an equal trace.
+        """
+        self._digest = digest
+        return self
 
     # -- (de)serialisation -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

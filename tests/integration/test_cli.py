@@ -230,3 +230,116 @@ count = 4
     def test_run_reports_a_missing_spec_file(self, tmp_path, capsys):
         assert main(["run", "--spec", str(tmp_path / "nope.toml")]) == 1
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestCliResultCache:
+    SPEC = TestCliRunSpec.SPEC
+
+    def _write(self, tmp_path):
+        path = tmp_path / "experiment.toml"
+        path.write_text(self.SPEC, encoding="utf-8")
+        return path
+
+    def test_dry_run_prints_the_grid_without_simulating(self, tmp_path,
+                                                        capsys, monkeypatch):
+        from repro.core import executor as executor_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("a replay ran during --dry-run")
+
+        monkeypatch.setattr(executor_module, "_simulate", forbidden)
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "--spec", str(self._write(tmp_path)),
+                     "--dry-run", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out and "cell key" in out
+        assert "6 task(s): 0 cached, 6 missing" in out
+
+    def test_dry_run_without_a_cache(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(self._write(tmp_path)),
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "uncached" in out and "no cache attached" in out
+
+    def test_cold_then_warm_run(self, tmp_path, capsys):
+        spec = str(self._write(tmp_path))
+        cache = str(tmp_path / "cache")
+        assert main(["run", "--spec", spec, "--quiet",
+                     "--cache-dir", cache]) == 0
+        assert "0 hit(s), 6 simulated" in capsys.readouterr().out
+        assert main(["run", "--spec", spec, "--quiet",
+                     "--cache-dir", cache]) == 0
+        assert "6 hit(s), 0 simulated" in capsys.readouterr().out
+
+    def test_cache_dir_from_the_environment(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        spec = str(self._write(tmp_path))
+        assert main(["run", "--spec", spec, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["run", "--spec", spec, "--quiet"]) == 0
+        assert "6 hit(s), 0 simulated" in capsys.readouterr().out
+
+    def test_no_cache_overrides_the_environment(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        spec = str(self._write(tmp_path))
+        assert main(["run", "--spec", spec, "--quiet", "--no-cache"]) == 0
+        assert "result cache" not in capsys.readouterr().out
+
+    def test_cache_stats_prune_verify(self, tmp_path, capsys):
+        spec = str(self._write(tmp_path))
+        cache = str(tmp_path / "cache")
+        assert main(["run", "--spec", spec, "--quiet",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "6" in out
+
+        assert main(["cache", "verify", "--cache-dir", cache]) == 0
+        assert "6 entries ok, 0 corrupt" in capsys.readouterr().out
+
+        assert main(["cache", "prune", "--cache-dir", cache]) == 0
+        assert "pruned 6 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        assert "0" in capsys.readouterr().out
+
+    def test_cache_verify_flags_corruption(self, tmp_path, capsys):
+        spec = str(self._write(tmp_path))
+        cache = tmp_path / "cache"
+        assert main(["run", "--spec", spec, "--quiet",
+                     "--cache-dir", str(cache)]) == 0
+        victim = next(cache.rglob("*.json"))
+        victim.write_text("{broken", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache)]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
+        assert main(["cache", "verify", "--cache-dir", str(cache),
+                     "--delete"]) == 1
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache)]) == 0
+        assert "5 entries ok, 0 corrupt" in capsys.readouterr().out
+
+    def test_cache_without_a_directory_is_a_clear_error(self, capsys,
+                                                        monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 1
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_sweep_accepts_the_cache_flags(self, tmp_path, capsys):
+        args = ["sweep", "--app", "sancho-loop", "--ranks", "4",
+                "--iterations", "2", "--min-bandwidth", "20",
+                "--max-bandwidth", "2000", "--samples", "3",
+                "--chunk-count", "4", "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0  # warm: served from the store
+        assert "peak ideal-pattern speedup" in capsys.readouterr().out
+
+    def test_study_notes_the_cache_bypass(self, tmp_path, capsys):
+        assert main(["study", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--chunk-count", "4",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "replaying uncached" in capsys.readouterr().out
