@@ -43,6 +43,25 @@ TOPOLOGIES = ["flat", "tree:radix=4,bandwidth_scale=2.0,links=2", "torus:links=1
 MODELS = ["analytical", "decomposed"]
 
 
+def _provenance():
+    """Stamp for the committed trajectory: commit, UTC time, python."""
+    import subprocess
+    from datetime import datetime, timezone
+    from pathlib import Path
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "git_commit": commit,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": host_platform.python_version(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="collective-model cost across topologies on allreduce-ring")
@@ -124,6 +143,7 @@ def main(argv=None) -> int:
             "benchmark": "collectives",
             "version": __version__,
             "python": host_platform.python_version(),
+            "provenance": _provenance(),
             "parameters": {
                 "ranks": args.ranks,
                 "iterations": args.iterations,

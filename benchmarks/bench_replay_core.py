@@ -1,23 +1,28 @@
 #!/usr/bin/env python
-"""Replay-core benchmark: the fast-path engine vs the pre-refactor engine.
+"""Replay-core benchmark: the replay backends vs the pre-refactor engine.
 
 Replays a sweep-style workload -- several applications, each as (original +
-ideal-overlapped) variants across a geometric bandwidth grid -- through two
-engines:
+ideal-overlapped) variants across a platform grid covering the paper's
+replay regimes -- through three engines:
 
 * ``legacy``: an embedded replica of the replay core exactly as it stood
   before the fast-path refactor (dict-based events with eager name strings,
   generic ``Timeout`` construction, per-record ``isinstance`` dispatch,
-  unconditional timeline interval recording), and
-* ``fast``: the current engine on its sweep configuration
-  (``collect_timeline=False``, prepared traces, opcode dispatch).
+  unconditional timeline interval recording),
+* ``event``: the current default backend on its sweep configuration
+  (``collect_timeline=False``, prepared traces, opcode dispatch), and
+* ``compiled``: the segment-fusing backend (``replay_backend="compiled"``):
+  fused CPU/overhead segments replayed off a flat array with one timeout
+  per segment, plus a collapsing network fabric that grants uncontended
+  transfers inline instead of running a per-hop acquisition chain.
 
-Both engines produce bit-identical simulated times (asserted on every cell;
-the golden tests in ``tests/dimemas/test_replay_golden.py`` pin the full
-result surface), so the comparison isolates pure interpreter cost.  The
-results -- wall time and events/second per application plus the aggregate
-speedup -- are printed as a table and written to ``BENCH_replay_core.json``
-so the perf trajectory of the replay core is recorded per PR.
+All three engines produce bit-identical simulated times (asserted on every
+cell; the golden tests in ``tests/dimemas/test_replay_golden.py`` pin the
+full result surface), so the comparison isolates pure interpreter cost.
+The results -- wall time and events/second per application plus the
+aggregate speedups -- are printed as a table and written to
+``BENCH_replay_core.json`` so the perf trajectory of the replay core is
+recorded per PR.  ``--min-speedup`` turns the run into a CI perf guard.
 
 Usage::
 
@@ -586,8 +591,34 @@ class LegacyReplayEngine:
 DEFAULT_APPS = ["nas-bt", "nas-cg", "sweep3d"]
 
 
+def _provenance():
+    """Stamp for the committed trajectory: commit, UTC time, python."""
+    import platform as platform_module
+    import subprocess
+    from datetime import datetime, timezone
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "git_commit": commit,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform_module.python_version(),
+    }
+
+
 def _build_workload(apps, ranks, iterations, samples):
-    """(app, variant_label, trace) x bandwidth grid, sweep-shaped."""
+    """(app, variant_label, trace) x platform grid, sweep-shaped.
+
+    The platform grid covers the paper's replay regimes, not just the
+    contended bandwidth sweep: the log-spaced bandwidth axis (the shape of
+    every figure), the ideal network (the paper's upper-bound pattern),
+    an ``mpi_overhead`` point (the paper's noted model extension) and a
+    multi-rank-per-node mapping (intranode traffic).
+    """
     environment = OverlapStudyEnvironment(chunking=FixedCountChunking(count=8))
     bandwidths = geometric_bandwidths(10.0, 10000.0, samples)
     workload = {}
@@ -596,7 +627,14 @@ def _build_workload(apps, ranks, iterations, samples):
         original = environment.trace(app)
         overlapped = environment.overlap(original, pattern=ComputationPattern.IDEAL)
         workload[name] = [("original", original), ("ideal", overlapped)]
+    middle = bandwidths[len(bandwidths) // 2]
     platforms = [Platform(bandwidth_mbps=bandwidth) for bandwidth in bandwidths]
+    platforms.append(Platform.ideal_network())
+    platforms.append(Platform(name="overhead", bandwidth_mbps=middle,
+                              mpi_overhead=2.0e-5))
+    platforms.append(Platform(name="ppn4", bandwidth_mbps=middle,
+                              processors_per_node=4,
+                              intranode_bandwidth_mbps=1000.0))
     return workload, platforms
 
 
@@ -620,9 +658,14 @@ def _fast_engine(trace, platform):
     return ReplayEngine(trace, platform, collect_timeline=False)
 
 
+def _compiled_engine(trace, platform):
+    return ReplayEngine(trace, platform.with_replay_backend("compiled"),
+                        collect_timeline=False)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="fast-path replay core vs the embedded legacy engine")
+        description="replay backends vs the embedded legacy engine")
     parser.add_argument("--ranks", type=int, default=16)
     parser.add_argument("--iterations", type=int, default=4)
     parser.add_argument("--samples", type=int, default=6,
@@ -631,6 +674,10 @@ def main(argv=None) -> int:
     parser.add_argument("--repeat", type=int, default=1,
                         help="replays of the whole grid per engine "
                              "(best-of is reported)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the compiled backend beats the "
+                             "legacy engine by at least this aggregate "
+                             "factor (CI perf guard)")
     parser.add_argument("--output", default="BENCH_replay_core.json",
                         help="JSON file for the recorded perf trajectory")
     args = parser.parse_args(argv)
@@ -641,67 +688,102 @@ def main(argv=None) -> int:
     rows = []
     report = {
         "benchmark": "replay_core",
+        "provenance": _provenance(),
         "config": {
             "ranks": args.ranks,
             "iterations": args.iterations,
             "bandwidth_samples": args.samples,
+            "platform_grid": [platform.name for platform in platforms],
             "variants": ["original", "ideal"],
             "repeat": args.repeat,
         },
         "apps": {},
     }
-    total_legacy = total_fast = 0.0
-    total_events_fast = 0
+    total_legacy = total_fast = total_compiled = 0.0
+    total_events_fast = total_events_compiled = 0
     for name, variants in workload.items():
-        legacy_seconds = fast_seconds = float("inf")
+        legacy_seconds = fast_seconds = compiled_seconds = float("inf")
         for _ in range(max(1, args.repeat)):
+            # Interleave the engines inside every repeat so machine drift
+            # hits all three comparably.
             seconds, legacy_events, legacy_times = _run_engine(
                 LegacyReplayEngine, variants, platforms)
             legacy_seconds = min(legacy_seconds, seconds)
             seconds, fast_events, fast_times = _run_engine(
                 _fast_engine, variants, platforms)
             fast_seconds = min(fast_seconds, seconds)
+            seconds, compiled_events, compiled_times = _run_engine(
+                _compiled_engine, variants, platforms)
+            compiled_seconds = min(compiled_seconds, seconds)
         if legacy_times != fast_times:
             raise SystemExit(
                 f"{name}: fast engine diverged from the legacy engine "
                 f"({fast_times} != {legacy_times})")
+        if legacy_times != compiled_times:
+            raise SystemExit(
+                f"{name}: compiled backend diverged from the legacy engine "
+                f"({compiled_times} != {legacy_times})")
         records = sum(len(rank) for _, trace in variants for rank in trace)
         speedup = legacy_seconds / fast_seconds if fast_seconds else float("inf")
+        speedup_compiled = (legacy_seconds / compiled_seconds
+                            if compiled_seconds else float("inf"))
         total_legacy += legacy_seconds
         total_fast += fast_seconds
+        total_compiled += compiled_seconds
         total_events_fast += fast_events
+        total_events_compiled += compiled_events
         report["apps"][name] = {
             "records_replayed": records * len(platforms),
             "events_legacy": legacy_events,
             "events_fast": fast_events,
+            "events_compiled": compiled_events,
             "legacy_seconds": legacy_seconds,
             "fast_seconds": fast_seconds,
+            "compiled_seconds": compiled_seconds,
             "events_per_second_legacy": legacy_events / legacy_seconds,
             "events_per_second_fast": fast_events / fast_seconds,
+            "events_per_second_compiled": compiled_events / compiled_seconds,
             "speedup": speedup,
+            "speedup_compiled": speedup_compiled,
         }
-        rows.append([name, records * len(platforms), fast_events,
+        rows.append([name, records * len(platforms),
                      f"{legacy_seconds:.3f}", f"{fast_seconds:.3f}",
-                     f"{fast_events / fast_seconds:,.0f}", f"{speedup:.2f}x"])
+                     f"{compiled_seconds:.3f}", f"{speedup:.2f}x",
+                     f"{speedup_compiled:.2f}x"])
 
     aggregate_speedup = total_legacy / total_fast if total_fast else float("inf")
+    aggregate_compiled = (total_legacy / total_compiled
+                          if total_compiled else float("inf"))
+    compiled_over_fast = (total_fast / total_compiled
+                          if total_compiled else float("inf"))
     report["aggregate"] = {
         "legacy_seconds": total_legacy,
         "fast_seconds": total_fast,
+        "compiled_seconds": total_compiled,
         "events_per_second_fast": total_events_fast / total_fast,
+        "events_per_second_compiled": total_events_compiled / total_compiled,
         "speedup": aggregate_speedup,
+        "speedup_compiled": aggregate_compiled,
+        "compiled_over_fast": compiled_over_fast,
     }
     print(format_table(
-        ["app", "records", "events", "legacy s", "fast s", "fast ev/s", "speedup"],
-        rows, title="replay core: legacy engine vs fast path "
-                    "(timeline-free sweep workload)"))
-    print(f"\naggregate speedup: {aggregate_speedup:.2f}x "
-          f"({total_legacy:.3f} s -> {total_fast:.3f} s; simulated times "
+        ["app", "records", "legacy s", "event s", "compiled s",
+         "event x", "compiled x"],
+        rows, title="replay core: legacy engine vs event vs compiled "
+                    "backends (timeline-free sweep workload)"))
+    print(f"\naggregate speedup: event {aggregate_speedup:.2f}x, compiled "
+          f"{aggregate_compiled:.2f}x over legacy ({total_legacy:.3f} s -> "
+          f"{total_fast:.3f} s -> {total_compiled:.3f} s; simulated times "
           f"bit-identical on every cell)")
 
     path = Path(args.output)
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {path}")
+    if args.min_speedup is not None and aggregate_compiled < args.min_speedup:
+        raise SystemExit(
+            f"perf guard: compiled backend aggregate speedup "
+            f"{aggregate_compiled:.2f}x over legacy is below the "
+            f"--min-speedup floor {args.min_speedup:.2f}x")
     return 0
 
 

@@ -51,6 +51,24 @@ def stable_rows(result):
             for row in result.to_rows()]
 
 
+def _provenance():
+    """Stamp for the committed trajectory: commit, UTC time, python."""
+    import subprocess
+    from datetime import datetime, timezone
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "git_commit": commit,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": host_platform.python_version(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="result-store payoff: no-cache vs cold vs warm")
@@ -157,6 +175,7 @@ def main(argv=None) -> int:
             "benchmark": "result_cache",
             "version": __version__,
             "python": host_platform.python_version(),
+            "provenance": _provenance(),
             "parameters": {
                 "app": args.app,
                 "ranks": args.ranks,

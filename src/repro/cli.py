@@ -253,6 +253,12 @@ def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
                         help="intra-node bandwidth in MB/s (0 = infinite)")
     parser.add_argument("--intranode-latency", type=float, default=1.0e-6,
                         help="intra-node latency in seconds")
+    parser.add_argument("--replay-backend", default="event",
+                        choices=["event", "compiled"],
+                        help="replay implementation: 'event' walks every "
+                             "record through the DES, 'compiled' "
+                             "batch-advances contention-free stretches "
+                             "(bit-identical results, faster)")
 
 
 # -- spec construction from flags ---------------------------------------------
@@ -279,6 +285,7 @@ def _platform_options(args: argparse.Namespace) -> dict:
         "processors_per_node": args.processors_per_node,
         "intranode_bandwidth_mbps": args.intranode_bandwidth,
         "intranode_latency": args.intranode_latency,
+        "replay_backend": args.replay_backend,
     }
 
 

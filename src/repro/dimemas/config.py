@@ -47,6 +47,9 @@ PLATFORM_FIELDS = {
     # Stored in the compact string form ("decomposed:bcast=ring"); Platform
     # parses it back into a CollectiveSpec.
     "collective_model": str,
+    # "event" or "compiled"; bit-identical results, so result-cache keys
+    # ignore it (see repro.store.keys.platform_fingerprint).
+    "replay_backend": str,
 }
 
 #: Backwards-compatible private alias.

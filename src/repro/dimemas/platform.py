@@ -49,7 +49,13 @@ class Platform:
       overhead but notes that "the model can be extended to address these
       omitted effects"; setting it non-zero is that extension and lets the
       environment quantify the cost of the extra partial sends/receives the
-      overlap mechanism introduces.
+      overlap mechanism introduces;
+    * ``replay_backend`` selects the replay implementation: ``event`` (the
+      default) walks every record through the generic DES, ``compiled``
+      batch-advances contention-free stretches (fused CPU-burst segments,
+      event-elided uncontended transfers).  The two backends produce
+      bit-identical results -- the knob trades nothing but wall time, and
+      is therefore excluded from result-cache keys.
     """
 
     name: str = "default"
@@ -67,6 +73,7 @@ class Platform:
     mpi_overhead: float = 0.0
     topology: TopologySpec = TopologySpec()
     collective_model: CollectiveSpec = CollectiveSpec()
+    replay_backend: str = "event"
 
     def __post_init__(self) -> None:
         if isinstance(self.topology, str):
@@ -99,6 +106,10 @@ class Platform:
             raise ConfigurationError("eager_threshold must be non-negative")
         if self.processors_per_node < 1:
             raise ConfigurationError("processors_per_node must be >= 1")
+        if self.replay_backend not in ("event", "compiled"):
+            raise ConfigurationError(
+                f"replay_backend must be 'event' or 'compiled', "
+                f"got {self.replay_backend!r}")
 
     # -- derived quantities -------------------------------------------------
     @property
@@ -173,6 +184,10 @@ class Platform:
         """A copy of this platform with a different collective cost model."""
         return replace(self,
                        collective_model=CollectiveSpec.parse(collective_model))
+
+    def with_replay_backend(self, replay_backend: str) -> "Platform":
+        """A copy of this platform replayed through a different backend."""
+        return replace(self, replay_backend=replay_backend)
 
     @classmethod
     def ideal_network(cls, name: str = "ideal") -> "Platform":

@@ -152,6 +152,14 @@ class Experiment:
         self._kwargs["jobs"] = jobs
         return self
 
+    def replay_backend(self, backend: str) -> "Experiment":
+        """Select the replay backend (``event`` or ``compiled``).
+
+        The backends are bit-identical; ``compiled`` batch-advances
+        contention-free stretches for wall-time speed.
+        """
+        return self.platform(replay_backend=backend)
+
     def collect_timelines(self, collect: bool = True) -> "Experiment":
         """Keep full per-replay results (timelines included) on the result."""
         self._kwargs["collect_timelines"] = collect

@@ -15,7 +15,8 @@ those inputs:
 * the serialized platform point -- every simulation-relevant
   :data:`~repro.dimemas.config.PLATFORM_FIELDS` field (topology and
   collective-model specs in their compact string forms), *excluding* the
-  cosmetic ``name`` label; and
+  cosmetic ``name`` label and the ``replay_backend`` knob (the backends
+  are bit-identical, so the choice cannot affect simulated numbers); and
 * a simulator version salt, so any release that could change simulated
   numbers invalidates the whole store instead of serving stale results.
 
@@ -54,14 +55,16 @@ def canonical_json(payload: Any) -> str:
 def platform_fingerprint(platform: Platform) -> Dict[str, Any]:
     """The simulation-relevant fields of a platform, canonically serialized.
 
-    Every :data:`PLATFORM_FIELDS` entry except ``name`` participates: the
-    name is a display label that cannot affect simulated numbers, and
-    excluding it keeps e.g. a CLI-built platform and a spec-built platform
-    with identical physics on the same key.
+    Every :data:`PLATFORM_FIELDS` entry except ``name`` and
+    ``replay_backend`` participates: the name is a display label that
+    cannot affect simulated numbers, and the replay backend produces
+    bit-identical results by contract (pinned by the backend golden
+    tests), so a sweep run with ``compiled`` shares its cache with an
+    ``event`` run of the same physics.
     """
     fingerprint: Dict[str, Any] = {}
     for field in PLATFORM_FIELDS:
-        if field == "name":
+        if field == "name" or field == "replay_backend":
             continue
         if field == "topology":
             fingerprint[field] = platform.topology.to_string()

@@ -1,0 +1,241 @@
+"""Golden regression: the compiled replay backend is bit-identical to the
+event backend.
+
+The compiled backend (``replay_backend="compiled"``) pre-compiles traces
+into fused compute segments (one timeout per segment instead of one per
+record) and collapses uncontended transfers into directly-scheduled
+completions instead of per-hop acquisition chains.  Its acceptance
+contract: total time, per-rank statistics, network statistics and
+timelines must match the event backend *exactly* -- the knob trades
+nothing but wall time.
+
+Timeline intervals are compared per rank: fused segments emit a rank's
+intervals in batches, so the global append order across ranks may differ
+while every rank's own timeline (and the full multiset) is unchanged.
+Communications are compared in exact global order.
+"""
+
+import pytest
+
+from repro.apps.registry import create_application
+from repro.core.chunking import FixedCountChunking
+from repro.core.environment import OverlapStudyEnvironment
+from repro.core.mechanisms import OverlapMechanism
+from repro.core.patterns import ComputationPattern
+from repro.dimemas.platform import Platform
+from repro.dimemas.replay import ReplayEngine
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments import Experiment, run_experiment
+from repro.store.keys import platform_fingerprint
+from repro.tracing.records import CpuBurst, RecvRecord, SendRecord, WaitRecord
+from repro.tracing.trace import RankTrace, Trace
+
+APPS = ("nas-bt", "nas-cg", "sweep3d")
+TOPOLOGIES = ("flat", "tree:radix=2", "torus:torus_width=2")
+MECHANISMS = ("full", "early-send", "late-receive")
+
+
+def _trace(app_name, overlap=None, mechanism="full", ranks=4, iterations=2):
+    environment = OverlapStudyEnvironment(chunking=FixedCountChunking(count=4))
+    trace = environment.trace(
+        create_application(app_name, num_ranks=ranks, iterations=iterations))
+    if overlap is not None:
+        trace = environment.overlap(
+            trace, pattern=ComputationPattern.from_label(overlap),
+            mechanism=OverlapMechanism.from_label(mechanism))
+    return trace
+
+
+def _run(trace, platform, backend, collect_timeline=True):
+    engine = ReplayEngine(trace, platform.with_replay_backend(backend),
+                          collect_timeline=collect_timeline)
+    return engine.run()
+
+
+def _interval_key(interval):
+    return (interval.rank, interval.start, interval.end, interval.state)
+
+
+def _assert_backends_identical(trace, platform):
+    for collect_timeline in (True, False):
+        event = _run(trace, platform, "event", collect_timeline)
+        compiled = _run(trace, platform, "compiled", collect_timeline)
+        event_time, event_stats, event_timeline, event_network = event
+        comp_time, comp_stats, comp_timeline, comp_network = compiled
+        assert comp_time == event_time
+        assert comp_stats == event_stats  # dataclass equality, every field
+        assert comp_network == event_network
+        assert (sorted(comp_timeline.intervals, key=_interval_key)
+                == sorted(event_timeline.intervals, key=_interval_key))
+        assert comp_timeline.communications == event_timeline.communications
+
+
+class TestCompiledAcrossAppsAndTopologies:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("app", APPS)
+    def test_original_trace_bit_identical(self, app, topology):
+        _assert_backends_identical(
+            _trace(app), Platform(bandwidth_mbps=100.0, topology=topology))
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("app", APPS)
+    def test_overlapped_trace_bit_identical(self, app, topology):
+        _assert_backends_identical(
+            _trace(app, overlap="ideal"),
+            Platform(bandwidth_mbps=100.0, topology=topology))
+
+
+class TestCompiledAcrossMechanisms:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    @pytest.mark.parametrize("pattern", ["real", "ideal"])
+    def test_mechanism_variants_bit_identical(self, pattern, mechanism):
+        trace = _trace("nas-bt", overlap=pattern, mechanism=mechanism)
+        _assert_backends_identical(trace, Platform(bandwidth_mbps=250.0))
+        _assert_backends_identical(
+            trace, Platform(bandwidth_mbps=250.0, topology="tree:radix=2"))
+
+
+class TestCompiledAcrossCollectiveModels:
+    """``decomposed`` routes collective traffic through the fabric (and
+    disables the relaxed collapse guard); both models must stay exact."""
+
+    @pytest.mark.parametrize("model", ["analytical", "decomposed"])
+    @pytest.mark.parametrize("app", APPS)
+    def test_collective_models_bit_identical(self, app, model):
+        _assert_backends_identical(
+            _trace(app),
+            Platform(bandwidth_mbps=100.0, collective_model=model))
+
+    def test_decomposed_on_a_topology(self):
+        _assert_backends_identical(
+            _trace("nas-cg", overlap="ideal"),
+            Platform(bandwidth_mbps=100.0, collective_model="decomposed",
+                     topology="torus:torus_width=2"))
+
+
+class TestCompiledPlatformCorners:
+    def test_mpi_overhead(self):
+        _assert_backends_identical(
+            _trace("nas-bt", overlap="ideal"),
+            Platform(bandwidth_mbps=100.0, mpi_overhead=2.0e-5))
+
+    def test_rendezvous_protocol(self):
+        _assert_backends_identical(
+            _trace("nas-cg"),
+            Platform(bandwidth_mbps=100.0, eager_threshold=0))
+
+    def test_cpu_contention_with_intranode_traffic(self):
+        _assert_backends_identical(
+            _trace("nas-bt"),
+            Platform(bandwidth_mbps=100.0, processors_per_node=4,
+                     cpu_contention=True, intranode_bandwidth_mbps=1000.0))
+
+    def test_contended_buses_and_links(self):
+        _assert_backends_identical(
+            _trace("sweep3d"),
+            Platform(bandwidth_mbps=25.0, num_buses=1, input_links=1,
+                     output_links=1))
+
+    def test_ideal_network(self):
+        _assert_backends_identical(_trace("nas-cg"), Platform.ideal_network())
+
+    def test_equal_intranode_timing(self):
+        # Intranode and internode transfers of the same size complete at
+        # the same instant: adversarial for any reordering of same-time
+        # completions between the collapsed and the chained paths.
+        _assert_backends_identical(
+            _trace("sweep3d"),
+            Platform(bandwidth_mbps=100.0, latency=1.0e-6,
+                     processors_per_node=2,
+                     intranode_bandwidth_mbps=100.0,
+                     intranode_latency=1.0e-6))
+
+
+class TestLeftoverRequests:
+    """A non-blocking request never waited on is a malformed trace; both
+    backends must name the rank and the dangling request ids."""
+
+    def _trace_with_dangling_request(self):
+        return Trace(ranks=[
+            RankTrace(rank=0, records=[
+                CpuBurst(instructions=1.0e6),
+                SendRecord(dst=1, size=1000, tag=0, blocking=False, request=7),
+                SendRecord(dst=1, size=1000, tag=1, blocking=False, request=9),
+                CpuBurst(instructions=1.0e6),
+            ]),
+            RankTrace(rank=1, records=[
+                RecvRecord(src=0, size=1000, tag=0),
+                RecvRecord(src=0, size=1000, tag=1),
+            ]),
+        ], mips=1000.0, metadata={"name": "dangling"})
+
+    @pytest.mark.parametrize("backend", ["event", "compiled"])
+    def test_dangling_requests_raise(self, backend):
+        platform = Platform(bandwidth_mbps=100.0,
+                            replay_backend=backend)
+        engine = ReplayEngine(self._trace_with_dangling_request(), platform)
+        with pytest.raises(SimulationError, match=r"rank 0 .*7, 9"):
+            engine.run()
+
+    def test_waited_requests_do_not_raise(self):
+        trace = Trace(ranks=[
+            RankTrace(rank=0, records=[
+                SendRecord(dst=1, size=1000, tag=0, blocking=False, request=7),
+                WaitRecord(requests=[7]),
+            ]),
+            RankTrace(rank=1, records=[RecvRecord(src=0, size=1000, tag=0)]),
+        ], mips=1000.0, metadata={"name": "waited"})
+        for backend in ("event", "compiled"):
+            engine = ReplayEngine(
+                trace, Platform(bandwidth_mbps=100.0, replay_backend=backend))
+            engine.run()
+
+
+class TestReplayBackendKnob:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="replay_backend"):
+            Platform(replay_backend="bytecode")
+
+    def test_with_replay_backend_round_trip(self):
+        platform = Platform(bandwidth_mbps=100.0)
+        assert platform.replay_backend == "event"
+        compiled = platform.with_replay_backend("compiled")
+        assert compiled.replay_backend == "compiled"
+        assert compiled.bandwidth_mbps == platform.bandwidth_mbps
+
+    def test_backend_excluded_from_cache_fingerprint(self):
+        # Bit-identical by contract, so a compiled sweep shares its result
+        # cache with an event sweep of the same physics.
+        platform = Platform(bandwidth_mbps=100.0)
+        assert (platform_fingerprint(platform)
+                == platform_fingerprint(platform.with_replay_backend("compiled")))
+
+    def test_builder_sets_the_backend(self):
+        spec = (Experiment.for_app("sancho-loop", num_ranks=4, iterations=2)
+                .bandwidths(100.0)
+                .replay_backend("compiled")
+                .build())
+        assert spec.platform_dict()["replay_backend"] == "compiled"
+
+
+class TestParallelSweepDeterminism:
+    def test_jobs_gt_one_matches_across_backends(self):
+        # The worker pool must not perturb either backend: scalar rows are
+        # identical across backends at jobs=2 and match the serial run.
+        def rows(backend, jobs):
+            spec = (Experiment.for_app("sancho-loop", num_ranks=4,
+                                       iterations=2)
+                    .patterns("ideal")
+                    .chunk_count(4)
+                    .bandwidths(50.0, 500.0, 5000.0)
+                    .replay_backend(backend)
+                    .jobs(jobs)
+                    .build())
+            return [{key: value for key, value in row.items()
+                     if key != "task_seconds"}
+                    for row in run_experiment(spec).to_rows()]
+
+        event_parallel = rows("event", 2)
+        compiled_parallel = rows("compiled", 2)
+        assert compiled_parallel == event_parallel
+        assert compiled_parallel == rows("compiled", 1)
