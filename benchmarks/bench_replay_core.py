@@ -208,15 +208,15 @@ class _LegacyProcess(_LegacyEvent):
                 self.fail(exc, priority=_PRIORITY_URGENT)
                 break
 
-            if not isinstance(next_event, _LegacyEvent):
-                # Events created through the shared matcher/network/resource
-                # helpers subclass the production Event; accept both.
-                if not hasattr(next_event, "add_callback"):
-                    self._target = None
-                    self.fail(DesError(
-                        f"process {self.name!r} yielded a non-event: {next_event!r}"),
-                        priority=_PRIORITY_URGENT)
-                    break
+            # Events created through the shared matcher/network/resource
+            # helpers subclass the production Event; accept both.
+            if (not isinstance(next_event, _LegacyEvent)
+                    and not hasattr(next_event, "add_callback")):
+                self._target = None
+                self.fail(DesError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"),
+                    priority=_PRIORITY_URGENT)
+                break
 
             if next_event.processed:
                 event = next_event

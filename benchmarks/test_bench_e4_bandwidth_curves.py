@@ -21,7 +21,7 @@ def test_e4_speedup_versus_bandwidth_curves(benchmark, sweeps):
         rounds=1, iterations=1)
 
     print_banner("E4: speedup-versus-bandwidth curves (the paper's figure)")
-    for name, sweep in sorted(sweeps.items()):
+    for _name, sweep in sorted(sweeps.items()):
         print()
         print(sweep_table(sweep))
         peak_bandwidth, peak = sweep.peak_speedup("ideal")

@@ -44,7 +44,7 @@ def test_e6_mechanism_decomposition(benchmark):
     print(format_table(["workload", "early sends only", "late receives only", "full"],
                        rows))
 
-    for name, speedups in results.items():
+    for _name, speedups in results.items():
         # Each half on its own never beats the full mechanism (modulo noise),
         # and the full mechanism always helps.
         assert speedups["full"] >= speedups["early-send"] - 0.05

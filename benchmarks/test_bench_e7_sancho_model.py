@@ -46,7 +46,7 @@ def test_e7_simulation_versus_analytical_model(benchmark):
     print(format_table(["message bytes", "analytical bound", "simulated ideal",
                         "simulated real"], rows))
 
-    for size, bound, ideal, real in results:
+    for _size, bound, ideal, real in results:
         # The simulation tracks the analytical model: same order of
         # magnitude, never wildly above it.
         assert ideal <= bound * 1.25

@@ -35,7 +35,7 @@ def main() -> int:
     sweeps = result.by_topology()
 
     print(topology_table(sweeps))
-    for name, sweep in sweeps.items():
+    for _name, sweep in sweeps.items():
         print()
         print(network_table(sweep))
 

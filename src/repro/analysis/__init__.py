@@ -1,0 +1,40 @@
+"""Static trace analysis: MPI correctness linting before any replay runs.
+
+The package has two halves:
+
+* :mod:`repro.analysis.diagnostics` -- the typed result surface
+  (:class:`Diagnostic`, :class:`AnalysisReport`, the stable ``TL*`` code
+  registry and the :func:`format_defect` formatting the replay engine
+  shares for its runtime errors);
+* :mod:`repro.analysis.tracelint` -- :func:`analyze_trace`, the analyzer
+  that walks prepared record streams without instantiating the DES.
+
+Entry points elsewhere: the ``repro-overlap check`` CLI subcommand, the
+fail-fast precheck in :func:`repro.experiments.runner.run_experiment`, and
+the CI gate asserting every registered app analyzes clean.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+    code_table,
+    format_defect,
+    location,
+)
+from repro.analysis.tracelint import ALL_RENDEZVOUS, analyze_trace
+
+__all__ = [
+    "ALL_RENDEZVOUS",
+    "AnalysisReport",
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "Severity",
+    "analyze_trace",
+    "code_table",
+    "format_defect",
+    "location",
+]

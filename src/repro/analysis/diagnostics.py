@@ -1,0 +1,255 @@
+"""Typed diagnostics shared by the static analyzer and the replay engine.
+
+Every defect the static analyzer (:mod:`repro.analysis.tracelint`) can find
+carries a *stable* code (``TL101``, ``TL201``, ...) so tests, CI gates and
+downstream tooling can match on identity instead of message prose.  The
+replay engine reuses :func:`format_defect` for the runtime errors that
+correspond to static codes, so a defect reads the same whether it was caught
+before the simulation started or in the middle of it::
+
+    TL201 collective-mismatch at rank 1, record 7: entered 'allreduce' ...
+
+This module is deliberately dependency-light (standard library plus the
+package's error types) so both the analyzer and the replay hot path can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class Severity(Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` diagnostics describe traces the replay engine would reject
+    (or hang on); ``WARNING`` diagnostics describe suspicious but replayable
+    content.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return 1 if self is Severity.WARNING else 2
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """The registry entry of one diagnostic code."""
+
+    code: str
+    slug: str
+    severity: Severity
+    summary: str
+
+
+def _registry(*entries: Tuple[str, str, Severity, str]) -> Dict[str, CodeInfo]:
+    return {code: CodeInfo(code, slug, severity, summary)
+            for code, slug, severity, summary in entries}
+
+
+#: All diagnostic codes the analyzer can emit.  Codes are stable: they are
+#: part of the tool's public surface (tests and CI gates match on them), so
+#: retired codes must not be reused.
+CODES: Dict[str, CodeInfo] = _registry(
+    ("TL101", "unmatched-send", Severity.ERROR,
+     "a send has no matching receive on the same (source, dest, tag) stream"),
+    ("TL102", "unmatched-recv", Severity.ERROR,
+     "a receive has no matching send on the same (source, dest, tag) stream"),
+    ("TL103", "peer-out-of-range", Severity.ERROR,
+     "a point-to-point record names a peer rank outside 0..N-1"),
+    ("TL104", "size-mismatch", Severity.WARNING,
+     "a matched send/receive pair disagrees on the message size"),
+    ("TL201", "collective-mismatch", Severity.ERROR,
+     "ranks disagree on a collective's operation, root or size"),
+    ("TL202", "collective-root-out-of-range", Severity.ERROR,
+     "a rooted collective names a root rank outside 0..N-1"),
+    ("TL203", "collective-count-mismatch", Severity.ERROR,
+     "ranks have different numbers of collective records"),
+    ("TL204", "collective-comm-size", Severity.WARNING,
+     "a collective's recorded communicator size does not match the trace"),
+    ("TL301", "dangling-request", Severity.ERROR,
+     "a non-blocking request is issued but never waited on"),
+    ("TL302", "wait-unknown-request", Severity.ERROR,
+     "a wait references a request that is not outstanding"),
+    ("TL303", "request-id-reused", Severity.ERROR,
+     "a request id is reissued while still outstanding"),
+    ("TL401", "potential-rendezvous-deadlock", Severity.ERROR,
+     "blocking operations wait on each other in a cycle"),
+    ("TL501", "unknown-record", Severity.ERROR,
+     "a record kind the replay engine does not know"),
+)
+
+
+def location(rank: Optional[int], record_index: Optional[int]) -> str:
+    """The human-readable trace location of a defect (``rank 2, record 17``)."""
+    if rank is None:
+        return "trace"
+    if record_index is None:
+        return f"rank {rank}"
+    return f"rank {rank}, record {record_index}"
+
+
+def format_defect(code: str, rank: Optional[int], record_index: Optional[int],
+                  message: str) -> str:
+    """One defect, formatted identically for static and runtime surfaces."""
+    info = CODES[code]
+    return f"{code} {info.slug} at {location(rank, record_index)}: {message}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One defect found in a trace.
+
+    ``rank`` and ``record_index`` locate the defect (``record_index`` is the
+    position in that rank's record list; ``None`` when the defect is a
+    whole-rank property such as a missing collective).  ``source`` labels
+    which trace the diagnostic belongs to when several are analyzed together
+    (e.g. per-variant traces of an experiment plan).
+    """
+
+    code: str
+    message: str
+    rank: Optional[int] = None
+    record_index: Optional[int] = None
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def info(self) -> CodeInfo:
+        return CODES[self.code]
+
+    @property
+    def severity(self) -> Severity:
+        return self.info.severity
+
+    @property
+    def slug(self) -> str:
+        return self.info.slug
+
+    def format(self) -> str:
+        """The single-line rendering (shared with runtime errors)."""
+        text = format_defect(self.code, self.rank, self.record_index, self.message)
+        if self.source:
+            return f"[{self.source}] {text}"
+        return text
+
+    def to_row(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": self.severity.value,
+            "rank": self.rank,
+            "record_index": self.record_index,
+            "source": self.source,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one (or several merged) static analysis passes."""
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "diagnostics", tuple(self.diagnostics))
+
+    # -- aggregate properties ----------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when the analysis found nothing at all."""
+        return not self.diagnostics
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max((d.severity for d in self.diagnostics),
+                   key=lambda severity: severity.rank)
+
+    def exit_code(self) -> int:
+        """The process exit code the CLI maps this report to (0/1/2)."""
+        severity = self.max_severity
+        if severity is None:
+            return 0
+        return severity.rank
+
+    def codes(self) -> List[str]:
+        """The distinct codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    # -- structured output -------------------------------------------------
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Tidy per-diagnostic rows (one dict per defect)."""
+        return [d.to_row() for d in self.diagnostics]
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "ok": self.ok,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "diagnostics": self.to_rows(),
+            "metadata": self.metadata,
+        }
+        return json.dumps(payload, indent=indent, sort_keys=False) + "\n"
+
+    def summary(self) -> str:
+        """One line: ``clean`` or the error/warning counts."""
+        if self.ok:
+            return "clean: no diagnostics"
+        return (f"{len(self.diagnostics)} diagnostic(s): "
+                f"{self.errors} error(s), {self.warnings} warning(s)")
+
+    def render_text(self) -> str:
+        """The multi-line text rendering the CLI prints."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    # -- composition -------------------------------------------------------
+    @classmethod
+    def merged(cls, reports: Iterable["AnalysisReport"],
+               metadata: Optional[Dict[str, Any]] = None) -> "AnalysisReport":
+        """Merge several reports, dropping duplicate diagnostics.
+
+        Analyzing one trace under several eager thresholds repeats every
+        threshold-independent diagnostic; merging keeps the first occurrence
+        of each identical diagnostic (code, location, source and message).
+        """
+        seen: Dict[Diagnostic, None] = {}
+        sources: List[Dict[str, Any]] = []
+        for report in reports:
+            for diagnostic in report.diagnostics:
+                seen.setdefault(diagnostic)
+            if report.metadata:
+                sources.append(report.metadata)
+        merged_metadata = dict(metadata or {})
+        merged_metadata.setdefault("analyses", sources)
+        return cls(diagnostics=tuple(seen), metadata=merged_metadata)
+
+
+def code_table() -> List[Tuple[str, str, str, str]]:
+    """``(code, slug, severity, summary)`` rows for docs and ``--help``."""
+    return [(info.code, info.slug, info.severity.value, info.summary)
+            for info in CODES.values()]

@@ -4,6 +4,7 @@ The CLI exposes the full pipeline from the terminal::
 
     repro-overlap list-apps
     repro-overlap trace    --app nas-bt --output bt.json
+    repro-overlap check    --app nas-bt --worst-case
     repro-overlap study    --app sweep3d --bandwidth 250 --gantt
     repro-overlap sweep    --app alya --min-bandwidth 2 --max-bandwidth 20000
     repro-overlap run      --spec experiment.toml --csv rows.csv
@@ -44,6 +45,7 @@ from repro.experiments import (
     preview_experiment,
     run_experiment,
 )
+from repro.analysis import AnalysisReport, analyze_trace
 from repro.paraver.prv import export_prv
 from repro.store import FileResultStore, open_store
 from repro.tracing.trace import Trace
@@ -70,6 +72,46 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--mechanism", default=None,
                        choices=["full", "early-send", "late-receive", "none"],
                        help="overlapping mechanism for --overlap (default: full)")
+
+    check = subparsers.add_parser(
+        "check", help="statically analyze traces for MPI correctness "
+                      "(tracelint) without replaying anything")
+    target = check.add_mutually_exclusive_group(required=True)
+    target.add_argument("--app", choices=sorted(APPLICATIONS),
+                        help="trace and analyze one application model")
+    target.add_argument("--all-apps", action="store_true",
+                        help="trace and analyze every registered application")
+    target.add_argument("--spec",
+                        help="analyze every trace an experiment spec file "
+                             "would replay (apps x variants, at the grid's "
+                             "eager thresholds)")
+    target.add_argument("--trace", help="analyze a trace file written by 'trace'")
+    check.add_argument("--ranks", type=int, default=16,
+                       help="number of MPI ranks (--app/--all-apps)")
+    check.add_argument("--iterations", type=int, default=None,
+                       help="number of iterations (model default if omitted)")
+    check.add_argument("--seed", type=int, default=None,
+                       help="workload seed (generated workloads only)")
+    check.add_argument("--chunk-bytes", type=int, default=16384,
+                       help="chunk size used when --mechanisms transforms "
+                            "overlapped variants")
+    check.add_argument("--chunk-count", type=int, default=None,
+                       help="fixed chunk count instead of a fixed chunk size")
+    check.add_argument("--eager-threshold", type=int, default=65536,
+                       help="eager/rendezvous switch-over size the deadlock "
+                            "search assumes (bytes)")
+    check.add_argument("--worst-case", action="store_true",
+                       help="additionally run the deadlock search with every "
+                            "send forced onto the rendezvous protocol (clean "
+                            "here means deadlock-free at any threshold)")
+    check.add_argument("--mechanisms",
+                       help="comma-separated overlap mechanisms (e.g. "
+                            "'full,early-send'): also analyze the real- and "
+                            "ideal-pattern overlapped variants of each app")
+    check.add_argument("--format", dest="output_format",
+                       choices=["text", "json"], default="text",
+                       help="report format (exit code is 0 clean, 1 "
+                            "warnings, 2 errors either way)")
 
     study = subparsers.add_parser(
         "study", help="trace, transform and replay one application")
@@ -126,7 +168,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="only print the summary, not the per-cell tables")
     run.add_argument("--dry-run", action="store_true",
                      help="print the expanded grid (cell keys, cached vs "
-                          "missing counts) without simulating anything")
+                          "missing counts, diagnostic counts) without "
+                          "simulating anything")
+    run.add_argument("--no-precheck", action="store_true",
+                     help="skip the static trace analysis that rejects "
+                          "defective traces before any replay starts")
     _add_cache_arguments(run)
 
     cache = subparsers.add_parser(
@@ -343,6 +389,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.experiments.plan import analyze_tasks, plan_experiment
+
+    if args.spec:
+        plan = plan_experiment(ExperimentSpec.from_file(args.spec))
+        report = analyze_tasks(plan, plan.tasks)
+    elif args.trace:
+        report = analyze_trace(Trace.load(args.trace),
+                               eager_threshold=args.eager_threshold,
+                               worst_case=args.worst_case, source=args.trace)
+    else:
+        report = _check_apps(args)
+    if args.output_format == "json":
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code()
+
+
+def _check_apps(args: argparse.Namespace) -> AnalysisReport:
+    """``check --app``/``--all-apps``: originals plus requested variants."""
+    from repro.apps.registry import create_application
+
+    names = sorted(APPLICATIONS) if args.all_apps else [args.app]
+    mechanisms = ([label.strip() for label in args.mechanisms.split(",")]
+                  if args.mechanisms else [])
+    environment = OverlapStudyEnvironment(
+        chunking=FixedCountChunking(count=args.chunk_count)
+        if args.chunk_count else FixedSizeChunking(chunk_bytes=args.chunk_bytes))
+    reports = []
+    for name in names:
+        app = create_application(name, **_app_options(args))
+        original = environment.trace(app)
+        reports.append(analyze_trace(
+            original, eager_threshold=args.eager_threshold,
+            worst_case=args.worst_case, source=name))
+        for label in mechanisms:
+            for pattern_label in ("real", "ideal"):
+                pattern, mechanism = resolve_overlap_request(
+                    pattern_label, label)
+                variant = environment.overlap(
+                    original, pattern=pattern, mechanism=mechanism)
+                reports.append(analyze_trace(
+                    variant, eager_threshold=args.eager_threshold,
+                    worst_case=args.worst_case,
+                    source=f"{name}:{pattern.value}+{mechanism.label}"))
+    return AnalysisReport.merged(reports, metadata={"apps": names})
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     spec = _experiment_from_args(args).mechanism(args.mechanism).build()
     store = _resolve_store(args)
@@ -426,7 +521,7 @@ def _print_grid_sweep(result) -> int:
 def _print_topology_sweep(result) -> int:
     sweeps = result.by_topology()
     print(topology_table(sweeps))
-    for name, sweep in sweeps.items():
+    for _name, sweep in sweeps.items():
         print()
         print(network_table(sweep))
     print()
@@ -458,7 +553,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = _resolve_store(args)
     if args.dry_run:
         return _print_dry_run(spec, store)
-    result = run_experiment(spec, store=store)
+    result = run_experiment(spec, store=store,
+                            precheck=not args.no_precheck)
     if not args.quiet:
         for cell in result.cells:
             print()
@@ -492,6 +588,10 @@ def _print_dry_run(spec: ExperimentSpec,
     else:
         print(f"{len(rows)} task(s): {preview.hits} cached, "
               f"{preview.misses} missing ({store.location})")
+    if preview.lint is not None:
+        print(f"static analysis of the original traces: "
+              f"{preview.lint.summary()} "
+              f"(variants are checked by 'run' before replaying)")
     return 0
 
 
@@ -575,6 +675,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "list-apps": _cmd_list_apps,
     "trace": _cmd_trace,
+    "check": _cmd_check,
     "study": _cmd_study,
     "sweep": _cmd_sweep,
     "run": _cmd_run,

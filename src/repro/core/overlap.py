@@ -194,10 +194,9 @@ class OverlapTransformer:
         if len(chunks) <= 1:
             return
         if self.mechanism.transforms_receives:
-            if record.blocking:
-                reference_position = position
-            else:
-                reference_position = wait_position.get(record.request, position)
+            reference_position = (
+                position if record.blocking
+                else wait_position.get(record.request, position))
             points = consumption_points(
                 chunks, record.consumption, self.pattern,
                 following_burst[reference_position], burst_instructions)

@@ -111,10 +111,7 @@ def _linear_points(chunks: Sequence[Chunk], adjacent_burst_index: Optional[int],
     count = len(chunks)
     points = []
     for chunk in chunks:
-        if consuming:
-            fraction = chunk.index / count
-        else:
-            fraction = (chunk.index + 1) / count
+        fraction = (chunk.index if consuming else chunk.index + 1) / count
         points.append(ChunkPoint(chunk, adjacent_burst_index, fraction * instructions))
     return points
 

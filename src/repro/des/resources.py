@@ -7,6 +7,7 @@ message queues between the matching engine and the replay processes.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any, Deque, List
 
@@ -177,7 +178,7 @@ class Container:
     """A continuous quantity with blocking ``get`` (used for byte budgets)."""
 
     def __init__(self, env: Environment, init: float = 0.0,
-                 capacity: float = float("inf"), name: str = "container"):
+                 capacity: float = math.inf, name: str = "container"):
         if init < 0 or init > capacity:
             raise ValueError("initial level must satisfy 0 <= init <= capacity")
         self.env = env

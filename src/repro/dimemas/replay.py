@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.diagnostics import format_defect
 from repro.des import Environment, Event, Resource
 from repro.des.events import PENDING
 from repro.dimemas.collectives import build_collective_model
@@ -120,8 +121,14 @@ class CollectiveCoordinator:
         self.model = build_collective_model(env, platform, num_ranks, network)
         self._instances: Dict[int, _CollectiveInstance] = {}
 
-    def enter(self, rank: int, record: CollectiveRecord, index: int) -> _CollectiveInstance:
-        """Rank ``rank`` enters its ``index``-th collective."""
+    def enter(self, rank: int, record: CollectiveRecord, index: int,
+              position: Optional[int] = None) -> _CollectiveInstance:
+        """Rank ``rank`` enters its ``index``-th collective.
+
+        ``position`` is the record's index in the rank's trace; it threads
+        through to the error messages so a runtime mismatch names the same
+        trace location the static analyzer (:mod:`repro.analysis`) would.
+        """
         instance = self._instances.get(index)
         if instance is None:
             instance = _CollectiveInstance(self.env, index)
@@ -133,28 +140,34 @@ class CollectiveCoordinator:
         else:
             # The ranks of one collective must agree on what they entered;
             # silently adopting the first arrival's parameters would turn a
-            # corrupt trace into a plausible-looking result.
+            # corrupt trace into a plausible-looking result.  The messages
+            # carry the static analyzer's TL201 code and location format so
+            # runtime and pre-replay reports read alike.
             if instance.operation != record.operation:
-                raise SimulationError(
-                    f"collective {index}: rank {rank} entered {record.operation!r} "
-                    f"while others entered {instance.operation!r}")
+                raise SimulationError(format_defect(
+                    "TL201", rank, position,
+                    f"entered {record.operation!r} while others entered "
+                    f"{instance.operation!r} (collective {index})"))
             if instance.root != record.root:
-                raise SimulationError(
-                    f"collective {index} ({instance.operation}): rank {rank} "
-                    f"entered with root {record.root} while earlier ranks "
-                    f"used root {instance.root}")
+                raise SimulationError(format_defect(
+                    "TL201", rank, position,
+                    f"entered {record.operation!r} with root {record.root} "
+                    f"while earlier ranks used root {instance.root} "
+                    f"(collective {index})"))
             if instance.size != record.size:
-                raise SimulationError(
-                    f"collective {index} ({instance.operation}): rank {rank} "
-                    f"entered with size {record.size} while earlier ranks "
-                    f"used size {instance.size}")
+                raise SimulationError(format_defect(
+                    "TL201", rank, position,
+                    f"entered {record.operation!r} with size {record.size} "
+                    f"while earlier ranks used size {instance.size} "
+                    f"(collective {index})"))
         instance.count += 1
         if instance.count > self.num_ranks:
-            raise SimulationError(
-                f"collective {index}: {instance.count} entries for "
+            raise SimulationError(format_defect(
+                "TL203", rank, position,
+                f"collective {index} has {instance.count} entries for "
                 f"{self.num_ranks} ranks (rank {rank} entered "
                 f"{record.operation!r} after the collective already "
-                f"completed; the traces have mismatched collective counts)")
+                f"completed; the traces have mismatched collective counts)"))
         if instance.count == self.num_ranks:
             self.model.launch(instance)
         return instance
@@ -274,7 +287,7 @@ class ReplayEngine:
         cpu = self._cpu_resource(platform.node_of(rank))
         state_running = ThreadState.RUNNING
         state_idle = ThreadState.IDLE
-        requests: Dict[int, Tuple[str, Message]] = {}
+        requests: Dict[int, Tuple[str, Message, int]] = {}
         collective_index = 0
         position = -1
 
@@ -332,7 +345,7 @@ class ReplayEngine:
                     if collect:
                         add_interval(rank, start, env._now, ThreadState.SEND_WAIT)
                 else:
-                    requests[record.request] = ("send", message)
+                    requests[record.request] = ("send", message, position)
             elif op == OP_RECV:
                 message = post_recv(rank, record)
                 stats.bytes_received += record.size
@@ -344,15 +357,16 @@ class ReplayEngine:
                     if collect:
                         add_interval(rank, start, env._now, ThreadState.RECV_WAIT)
                 else:
-                    requests[record.request] = ("recv", message)
+                    requests[record.request] = ("recv", message, position)
             elif op == OP_WAIT:
                 events = []
                 for request_id in record.requests:
                     try:
-                        side, message = requests.pop(request_id)
+                        side, message, _ = requests.pop(request_id)
                     except KeyError:
-                        raise SimulationError(
-                            f"rank {rank} waits on unknown request {request_id}") from None
+                        raise SimulationError(format_defect(
+                            "TL302", rank, position,
+                            f"waits on unknown request {request_id}")) from None
                     events.append(message.send_complete if side == "send"
                                   else message.arrived)
                 if not events:
@@ -364,7 +378,8 @@ class ReplayEngine:
                     add_interval(rank, start, env._now, ThreadState.REQUEST_WAIT)
             elif op == OP_COLLECTIVE:
                 start = env._now
-                instance = enter_collective(rank, record, collective_index)
+                instance = enter_collective(rank, record, collective_index,
+                                            position)
                 collective_index += 1
                 stats.collectives += 1
                 yield instance.all_arrived
@@ -395,11 +410,18 @@ class ReplayEngine:
         # vanish silently at end-of-trace -- its transfer may still be in
         # flight, so the reported times would quietly exclude it.  Such a
         # trace is malformed (real MPI requires completing every request);
-        # surface it instead of producing a plausible-looking result.
+        # surface it instead of producing a plausible-looking result.  The
+        # error is anchored at the earliest dangling issue so it names the
+        # same trace location as the static analyzer's first TL301.
+        first_position = min(position for _, _, position in requests.values())
         ids = ", ".join(str(request_id) for request_id in sorted(requests))
-        raise SimulationError(
-            f"rank {rank} finished the trace with outstanding non-blocking "
-            f"request(s) never waited on: {ids}")
+        positions = ", ".join(
+            str(position) for position in
+            sorted(position for _, _, position in requests.values()))
+        raise SimulationError(format_defect(
+            "TL301", rank, first_position,
+            f"finished the trace with outstanding non-blocking request(s) "
+            f"never waited on: {ids} (issued at record(s) {positions})"))
 
     def _rank_process_compiled(self, rank: int, ops):
         # The compiled twin of :meth:`_rank_process`: walks the
@@ -427,7 +449,7 @@ class ReplayEngine:
         duration_denominator = (self.timebase.instructions_per_second
                                 * platform.relative_cpu_speed)
         state_running = ThreadState.RUNNING
-        requests: Dict[int, Tuple[str, Message]] = {}
+        requests: Dict[int, Tuple[str, Message, int]] = {}
         collective_index = 0
         final_position = 0
 
@@ -493,7 +515,7 @@ class ReplayEngine:
                     if collect:
                         add_interval(rank, start, env._now, ThreadState.SEND_WAIT)
                 else:
-                    requests[record.request] = ("send", message)
+                    requests[record.request] = ("send", message, index)
             elif op == OP_RECV:
                 message = post_recv(rank, record)
                 stats.bytes_received += record.size
@@ -505,15 +527,16 @@ class ReplayEngine:
                     if collect:
                         add_interval(rank, start, env._now, ThreadState.RECV_WAIT)
                 else:
-                    requests[record.request] = ("recv", message)
+                    requests[record.request] = ("recv", message, index)
             elif op == OP_WAIT:
                 events = []
                 for request_id in record.requests:
                     try:
-                        side, message = requests.pop(request_id)
+                        side, message, _ = requests.pop(request_id)
                     except KeyError:
-                        raise SimulationError(
-                            f"rank {rank} waits on unknown request {request_id}") from None
+                        raise SimulationError(format_defect(
+                            "TL302", rank, index,
+                            f"waits on unknown request {request_id}")) from None
                     events.append(message.send_complete if side == "send"
                                   else message.arrived)
                 if not events:
@@ -525,7 +548,8 @@ class ReplayEngine:
                     add_interval(rank, start, env._now, ThreadState.REQUEST_WAIT)
             elif op == OP_COLLECTIVE:
                 start = env._now
-                instance = enter_collective(rank, record, collective_index)
+                instance = enter_collective(rank, record, collective_index,
+                                            index)
                 collective_index += 1
                 stats.collectives += 1
                 yield instance.all_arrived

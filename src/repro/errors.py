@@ -33,5 +33,19 @@ class AnalysisError(ReproError):
     """An analysis routine was given inconsistent inputs."""
 
 
+class TraceLintError(AnalysisError):
+    """Static trace analysis found defects that would break the replay.
+
+    Raised by the fail-fast precheck in
+    :func:`repro.experiments.runner.run_experiment` (opt out with
+    ``precheck=False``).  ``report`` carries the full
+    :class:`repro.analysis.AnalysisReport` when available.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class StoreError(ReproError):
     """The persistent result store could not be read or written."""

@@ -26,7 +26,11 @@ results, ``jobs > 1`` included.
 """
 
 from repro.experiments.builder import Experiment, log_spaced
-from repro.experiments.plan import ExperimentPlan, plan_experiment
+from repro.experiments.plan import (
+    ExperimentPlan,
+    analyze_tasks,
+    plan_experiment,
+)
 from repro.experiments.result import (
     CellDims,
     ExperimentCell,
@@ -50,6 +54,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "TaskProvenance",
+    "analyze_tasks",
     "load_spec",
     "log_spaced",
     "plan_experiment",

@@ -11,6 +11,7 @@ has no TOML writer.
 
 from __future__ import annotations
 
+import contextlib
 import json
 from typing import Any, Dict, List
 
@@ -122,10 +123,8 @@ def _parse_value(text: str) -> Any:
         return True
     if text == "false":
         return False
-    try:
+    with contextlib.suppress(ValueError):
         return int(text)
-    except ValueError:
-        pass
     try:
         return float(text)
     except ValueError:

@@ -306,6 +306,34 @@ class ExperimentPlan:
         return keys
 
 
+def analyze_tasks(plan: ExperimentPlan, tasks: Sequence[SweepTask],
+                  traces: Optional[Dict[str, Trace]] = None):
+    """Statically analyze every trace the given ``tasks`` would replay.
+
+    Each distinct trace is analyzed once per distinct eager threshold among
+    its tasks' platforms (the deadlock search depends on the eager/rendezvous
+    protocol split; every other check is platform-independent), and the
+    per-threshold reports are merged with duplicate diagnostics dropped.
+    Returns a :class:`repro.analysis.AnalysisReport`; the import is local so
+    planning stays import-light for callers that never precheck.
+    """
+    from repro.analysis import AnalysisReport, analyze_trace
+
+    if traces is None:
+        traces = plan.traces_for(tasks)
+    thresholds: Dict[str, Dict[int, None]] = {}
+    for task in tasks:
+        thresholds.setdefault(task.trace_key, {}).setdefault(
+            task.platform.eager_threshold)
+    reports = []
+    for key, trace in traces.items():
+        for eager in thresholds.get(key, {}) or (None,):
+            reports.append(analyze_trace(trace, eager_threshold=eager,
+                                         source=key))
+    return AnalysisReport.merged(
+        reports, metadata={"tasks": len(tasks), "traces": sorted(traces)})
+
+
 def plan_experiment(spec: ExperimentSpec,
                     environment: Optional["OverlapStudyEnvironment"] = None,
                     platform: Optional[Platform] = None,
@@ -322,10 +350,8 @@ def plan_experiment(spec: ExperimentSpec,
         environment = build_environment(spec)
     base_platform = platform or environment.platform
 
-    if apps is not None:
-        app_pairs = [(app.name, app) for app in apps]
-    else:
-        app_pairs = create_apps(spec)
+    app_pairs = ([(app.name, app) for app in apps]
+                 if apps is not None else create_apps(spec))
     labels = [label for label, _ in app_pairs]
     if len(set(labels)) != len(labels):
         raise AnalysisError(f"duplicate application names in batch: {labels}")

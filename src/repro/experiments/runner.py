@@ -41,14 +41,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
+from repro.analysis import AnalysisReport, analyze_trace
 from repro.core.analysis import BandwidthSweep
 from repro.core.executor import SweepExecutor, SweepTask, SweepTaskResult
 from repro.core.mechanisms import OverlapMechanism
 from repro.dimemas.platform import Platform
 from repro.dimemas.results import SimulationResult
+from repro.errors import TraceLintError
 from repro.experiments.plan import (  # noqa: F401  (re-exported legacy surface)
     ExperimentPlan,
     VariantPlan,
+    analyze_tasks,
     build_chunking,
     build_environment,
     build_platform,
@@ -121,11 +124,16 @@ class ExperimentPreview:
 
     ``statuses`` is index-aligned with ``plan.tasks`` and ``keys``; each
     entry is ``"hit"``, ``"miss"`` or (without a store) ``"uncached"``.
+    ``lint`` is the static-analysis report over the original traces (the
+    dry-run never transforms variants; the full per-variant check runs in
+    :func:`run_experiment`'s precheck or ``repro-overlap check --spec``), or
+    ``None`` when previewed with ``precheck=False``.
     """
 
     plan: ExperimentPlan
     keys: List[CellKey]
     statuses: List[str]
+    lint: Optional[AnalysisReport] = None
 
     @property
     def hits(self) -> int:
@@ -141,22 +149,35 @@ def preview_experiment(spec: ExperimentSpec,
                        platform: Optional[Platform] = None,
                        apps: Optional[Sequence["ApplicationModel"]] = None,
                        store: Optional[ResultStore] = None,
-                       cache_dir: Optional[Union[str, Path]] = None
+                       cache_dir: Optional[Union[str, Path]] = None,
+                       precheck: bool = True
                        ) -> ExperimentPreview:
     """Plan ``spec`` and report per-task cache status without simulating.
 
     Traces the apps (their content digests feed the keys) but never runs
-    an overlap transformation or a replay.
+    an overlap transformation or a replay.  With ``precheck`` (the default)
+    the already-materialised original traces are additionally run through
+    the static analyzer at every eager threshold of the grid, so the dry
+    run reports diagnostic counts next to the cache stats.
     """
     store = _resolve_store(store, cache_dir)
     plan = plan_experiment(spec, environment=environment, platform=platform,
                            apps=apps)
     keys = plan.cell_keys()
-    if store is None:
-        statuses = ["uncached"] * len(keys)
-    else:
-        statuses = ["hit" if key in store else "miss" for key in keys]
-    return ExperimentPreview(plan=plan, keys=keys, statuses=statuses)
+    statuses = (["uncached"] * len(keys) if store is None
+                else ["hit" if key in store else "miss" for key in keys])
+    lint = None
+    if precheck:
+        thresholds = dict.fromkeys(
+            p.eager_threshold for p in plan.flat_platforms)
+        lint = AnalysisReport.merged(
+            (analyze_trace(plan.original_trace(label),
+                           eager_threshold=eager, source=label)
+             for label in plan.app_labels for eager in thresholds),
+            metadata={"apps": plan.app_labels,
+                      "eager_thresholds": list(thresholds)})
+    return ExperimentPreview(plan=plan, keys=keys, statuses=statuses,
+                             lint=lint)
 
 
 def run_experiment(spec: ExperimentSpec,
@@ -165,7 +186,8 @@ def run_experiment(spec: ExperimentSpec,
                    apps: Optional[Sequence["ApplicationModel"]] = None,
                    full_results: bool = False,
                    store: Optional[ResultStore] = None,
-                   cache_dir: Optional[Union[str, Path]] = None
+                   cache_dir: Optional[Union[str, Path]] = None,
+                   precheck: bool = True
                    ) -> ExperimentResult:
     """Execute ``spec`` and return the typed result.
 
@@ -184,6 +206,13 @@ def run_experiment(spec: ExperimentSpec,
     result cache: cached cells are returned without simulating, missing
     cells are replayed and written back.  Full-results runs bypass the cache
     (timelines are not cached) but still record why in the result metadata.
+
+    ``precheck`` (the default) statically analyzes every trace the missing
+    tasks would replay *before* the executor spins up and raises
+    :class:`~repro.errors.TraceLintError` on any error-severity diagnostic;
+    pass ``precheck=False`` to opt out (e.g. to reproduce a runtime failure).
+    The traces are the ones execution needs anyway, so a clean precheck
+    costs no extra tracing or transformation.
     """
     full_results = full_results or spec.collect_timelines
     store = _resolve_store(store, cache_dir)
@@ -211,6 +240,18 @@ def run_experiment(spec: ExperimentSpec,
     # -- execute -----------------------------------------------------------
     executor = SweepExecutor(jobs=spec.jobs)
     traces = plan.traces_for(missing)
+    # The lint metadata must not depend on the hit/miss split (a warm run
+    # analyzes nothing), or warm and cold results would stop being
+    # byte-identical -- so it records only whether the precheck was on.
+    lint_meta: Dict[str, object] = {"enabled": bool(precheck)}
+    if precheck and missing:
+        report = analyze_tasks(plan, missing, traces)
+        if report.errors:
+            raise TraceLintError(
+                f"static trace analysis rejected the experiment before any "
+                f"replay started ({report.summary()}; rerun with "
+                f"precheck=False / --no-precheck to bypass):\n"
+                + report.render_text(), report=report)
     raw = executor.execute(
         missing, traces, full_results=full_results,
         simulator=environment.simulator,
@@ -248,6 +289,7 @@ def run_experiment(spec: ExperimentSpec,
         "jobs": executor.jobs,
         "replay_wall_seconds": wall_seconds,
         "cache": cache_meta,
+        "lint": lint_meta,
     }
 
     provenance: Optional[Tuple[TaskProvenance, ...]] = None
@@ -310,7 +352,7 @@ def _assemble_studies(app_pairs, plans, results, base_platform,
 
     per_app = 1 + len(plans)
     studies: Dict[str, OverlapStudy] = {}
-    for app_index, (app_label, app) in enumerate(app_pairs):
+    for app_index, (app_label, _app) in enumerate(app_pairs):
         cursor = app_index * per_app
         original_result = results[cursor]
         overlapped_results = {

@@ -73,10 +73,7 @@ def _items_of(value: Any, field: str) -> _Items:
     """Normalise a mapping (or item tuple) into sorted, scalar-valued items."""
     if value is None:
         return ()
-    if isinstance(value, Mapping):
-        pairs = value.items()
-    else:
-        pairs = tuple(value)
+    pairs = value.items() if isinstance(value, Mapping) else tuple(value)
     items = []
     for key, item in pairs:
         if not isinstance(key, str):

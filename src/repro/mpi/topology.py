@@ -115,11 +115,9 @@ class GraphTopology:
 
     def is_symmetric(self) -> bool:
         """True if every edge has a reverse edge (needed for exchanges)."""
-        for rank, peers in self._adjacency.items():
-            for peer in peers:
-                if rank not in self._adjacency.get(peer, []):
-                    return False
-        return True
+        return all(rank in self._adjacency.get(peer, [])
+                   for rank, peers in self._adjacency.items()
+                   for peer in peers)
 
 
 def balanced_dims(num_ranks: int, ndims: int) -> List[int]:

@@ -17,6 +17,7 @@ pickles as its root path).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -130,10 +131,8 @@ class FileResultStore(ResultStore):
                 continue
             bad.append(path.stem)
             if delete:
-                try:
+                with contextlib.suppress(OSError):
                     path.unlink()
-                except OSError:
-                    pass
         return ok, sorted(bad)
 
     # -- internals ---------------------------------------------------------

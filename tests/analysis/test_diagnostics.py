@@ -1,0 +1,144 @@
+"""Tests for the typed diagnostic surface: codes, formatting, reports."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    code_table,
+    format_defect,
+    location,
+)
+
+
+class TestCodeRegistry:
+    def test_codes_are_stable_identifiers(self):
+        assert set(CODES) == {
+            "TL101", "TL102", "TL103", "TL104",
+            "TL201", "TL202", "TL203", "TL204",
+            "TL301", "TL302", "TL303",
+            "TL401", "TL501",
+        }
+
+    def test_slugs_are_unique(self):
+        slugs = [info.slug for info in CODES.values()]
+        assert len(slugs) == len(set(slugs))
+
+    def test_entries_are_self_consistent(self):
+        for code, info in CODES.items():
+            assert info.code == code
+            assert info.slug and info.summary
+            assert isinstance(info.severity, Severity)
+
+    def test_severity_split(self):
+        warnings = {code for code, info in CODES.items()
+                    if info.severity is Severity.WARNING}
+        assert warnings == {"TL104", "TL204"}
+
+    def test_code_table_mirrors_the_registry(self):
+        rows = code_table()
+        assert len(rows) == len(CODES)
+        for code, slug, severity, summary in rows:
+            info = CODES[code]
+            assert (slug, severity, summary) == \
+                (info.slug, info.severity.value, info.summary)
+
+
+class TestFormatting:
+    def test_location_variants(self):
+        assert location(None, None) == "trace"
+        assert location(2, None) == "rank 2"
+        assert location(2, 17) == "rank 2, record 17"
+
+    def test_format_defect_is_the_shared_rendering(self):
+        text = format_defect("TL201", 1, 7, "entered 'allreduce'")
+        assert text == ("TL201 collective-mismatch at rank 1, record 7: "
+                        "entered 'allreduce'")
+
+    def test_diagnostic_format_matches_format_defect(self):
+        diagnostic = Diagnostic(code="TL101", message="never received",
+                                rank=0, record_index=3)
+        assert diagnostic.format() == \
+            format_defect("TL101", 0, 3, "never received")
+
+    def test_source_prefix(self):
+        diagnostic = Diagnostic(code="TL101", message="m", rank=0,
+                                record_index=0, source="nas-bt")
+        assert diagnostic.format().startswith("[nas-bt] TL101 ")
+
+    def test_unknown_code_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic(code="TL999", message="nope")
+
+    def test_to_row_carries_identity_and_location(self):
+        row = Diagnostic(code="TL104", message="m", rank=1,
+                         record_index=4, source="s").to_row()
+        assert row == {"code": "TL104", "slug": "size-mismatch",
+                       "severity": "warning", "rank": 1, "record_index": 4,
+                       "source": "s", "message": "m"}
+
+
+def _error(index=0):
+    return Diagnostic(code="TL101", message="m", rank=0, record_index=index)
+
+
+def _warning(index=0):
+    return Diagnostic(code="TL104", message="m", rank=0, record_index=index)
+
+
+class TestAnalysisReport:
+    def test_empty_report_is_clean(self):
+        report = AnalysisReport()
+        assert report.ok
+        assert report.errors == 0 and report.warnings == 0
+        assert report.max_severity is None
+        assert report.exit_code() == 0
+        assert report.summary() == "clean: no diagnostics"
+
+    def test_exit_code_reflects_worst_severity(self):
+        assert AnalysisReport(diagnostics=(_warning(),)).exit_code() == 1
+        assert AnalysisReport(diagnostics=(_error(),)).exit_code() == 2
+        assert AnalysisReport(
+            diagnostics=(_warning(), _error())).exit_code() == 2
+
+    def test_counts_and_codes(self):
+        report = AnalysisReport(diagnostics=(_error(0), _error(1), _warning()))
+        assert (report.errors, report.warnings) == (2, 1)
+        assert report.codes() == ["TL101", "TL104"]
+        assert [d.record_index for d in report.by_code("TL101")] == [0, 1]
+
+    def test_summary_counts(self):
+        report = AnalysisReport(diagnostics=(_error(), _warning()))
+        assert report.summary() == "2 diagnostic(s): 1 error(s), 1 warning(s)"
+
+    def test_render_text_ends_with_the_summary(self):
+        report = AnalysisReport(diagnostics=(_error(),))
+        lines = report.render_text().splitlines()
+        assert lines[0] == _error().format()
+        assert lines[-1] == report.summary()
+
+    def test_to_json_round_trips(self):
+        report = AnalysisReport(diagnostics=(_error(),),
+                                metadata={"trace": "t"})
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        assert payload["errors"] == 1 and payload["warnings"] == 0
+        assert payload["diagnostics"] == report.to_rows()
+        assert payload["metadata"] == {"trace": "t"}
+
+    def test_merged_drops_duplicate_diagnostics(self):
+        first = AnalysisReport(diagnostics=(_error(), _warning()),
+                               metadata={"pass": 1})
+        second = AnalysisReport(diagnostics=(_error(), _error(9)),
+                                metadata={"pass": 2})
+        merged = AnalysisReport.merged([first, second])
+        assert len(merged.diagnostics) == 3
+        assert merged.metadata["analyses"] == [{"pass": 1}, {"pass": 2}]
+
+    def test_merged_metadata_override(self):
+        merged = AnalysisReport.merged([AnalysisReport()], metadata={"k": "v"})
+        assert merged.metadata["k"] == "v"

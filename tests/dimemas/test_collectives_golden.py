@@ -64,7 +64,7 @@ class _LegacyCollectiveCoordinator:
         self.num_ranks = num_ranks
         self._instances = {}
 
-    def enter(self, rank, record, index):
+    def enter(self, rank, record, index, position=None):
         instance = self._instances.get(index)
         if instance is None:
             instance = _LegacyCollectiveInstance(self.env, index)

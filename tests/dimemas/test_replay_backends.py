@@ -174,7 +174,9 @@ class TestLeftoverRequests:
         platform = Platform(bandwidth_mbps=100.0,
                             replay_backend=backend)
         engine = ReplayEngine(self._trace_with_dangling_request(), platform)
-        with pytest.raises(SimulationError, match=r"rank 0 .*7, 9"):
+        with pytest.raises(SimulationError,
+                           match=r"TL301 dangling-request at rank 0, "
+                                 r"record 1: .*7, 9"):
             engine.run()
 
     def test_waited_requests_do_not_raise(self):

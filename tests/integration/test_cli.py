@@ -343,3 +343,98 @@ class TestCliResultCache:
                      "--iterations", "2", "--chunk-count", "4",
                      "--cache-dir", str(tmp_path / "cache")]) == 0
         assert "replaying uncached" in capsys.readouterr().out
+
+
+class TestCliCheck:
+    """The ``check`` subcommand: static analysis from the command line."""
+
+    def _save(self, tmp_path, *rank_records):
+        from repro.tracing.trace import RankTrace, Trace
+
+        trace = Trace(ranks=[RankTrace(rank=rank, records=list(records))
+                             for rank, records in enumerate(rank_records)])
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        return str(path)
+
+    def test_check_app_is_clean(self, capsys):
+        assert main(["check", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--worst-case"]) == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_check_app_with_overlapped_variants(self, capsys):
+        assert main(["check", "--app", "sancho-loop", "--ranks", "4",
+                     "--iterations", "2", "--chunk-count", "4",
+                     "--mechanisms", "full,early-send"]) == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_check_all_apps(self, capsys):
+        assert main(["check", "--all-apps", "--ranks", "4",
+                     "--worst-case"]) == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_check_broken_trace_exits_2(self, tmp_path, capsys):
+        from repro.tracing.records import CpuBurst, SendRecord
+
+        path = self._save(tmp_path,
+                          [SendRecord(dst=1, size=64)],
+                          [CpuBurst(instructions=1.0)])
+        assert main(["check", "--trace", path]) == 2
+        out = capsys.readouterr().out
+        assert "TL101 unmatched-send at rank 0, record 0" in out
+
+    def test_check_warning_only_trace_exits_1(self, tmp_path, capsys):
+        from repro.tracing.records import RecvRecord, SendRecord
+
+        path = self._save(tmp_path,
+                          [SendRecord(dst=1, size=100)],
+                          [RecvRecord(src=0, size=200)])
+        assert main(["check", "--trace", path]) == 1
+        assert "TL104 size-mismatch" in capsys.readouterr().out
+
+    def test_check_eager_threshold_governs_the_deadlock_search(self, tmp_path,
+                                                               capsys):
+        from repro.tracing.records import RecvRecord, SendRecord
+
+        path = self._save(
+            tmp_path,
+            [SendRecord(dst=1, size=100_000), RecvRecord(src=1, size=100_000)],
+            [SendRecord(dst=0, size=100_000), RecvRecord(src=0, size=100_000)])
+        assert main(["check", "--trace", path,
+                     "--eager-threshold", "1000000"]) == 0
+        capsys.readouterr()
+        assert main(["check", "--trace", path]) == 2
+        assert "TL401 potential-rendezvous-deadlock" in capsys.readouterr().out
+
+    def test_check_json_format(self, tmp_path, capsys):
+        import json
+
+        from repro.tracing.records import CpuBurst, SendRecord
+
+        path = self._save(tmp_path,
+                          [SendRecord(dst=1, size=64)],
+                          [CpuBurst(instructions=1.0)])
+        assert main(["check", "--trace", path, "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert [row["code"] for row in payload["diagnostics"]] == ["TL101"]
+
+    def test_check_spec_analyzes_the_whole_grid(self, tmp_path, capsys):
+        path = tmp_path / "experiment.toml"
+        path.write_text(TestCliRunSpec.SPEC, encoding="utf-8")
+        assert main(["check", "--spec", str(path)]) == 0
+        assert "clean: no diagnostics" in capsys.readouterr().out
+
+    def test_dry_run_reports_the_lint_summary(self, tmp_path, capsys):
+        path = tmp_path / "experiment.toml"
+        path.write_text(TestCliRunSpec.SPEC, encoding="utf-8")
+        assert main(["run", "--spec", str(path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert ("static analysis of the original traces: "
+                "clean: no diagnostics") in out
+
+    def test_run_accepts_no_precheck(self, tmp_path, capsys):
+        path = tmp_path / "experiment.toml"
+        path.write_text(TestCliRunSpec.SPEC, encoding="utf-8")
+        assert main(["run", "--spec", str(path), "--quiet",
+                     "--no-precheck"]) == 0
