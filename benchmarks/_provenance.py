@@ -1,0 +1,34 @@
+"""Shared provenance stamp for the committed benchmark trajectories.
+
+Every benchmark writes a ``BENCH_*.json`` file that is committed to the
+repository, so each report carries the same stamp identifying the state
+of the world that produced it: the git commit, the UTC wall time and the
+Python version.  The benchmarks are plain scripts run from anywhere
+(``python benchmarks/bench_*.py``), which puts this directory on
+``sys.path`` -- they import the stamp as ``from _provenance import
+provenance``.
+"""
+
+from __future__ import annotations
+
+import platform as host_platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def provenance() -> Dict[str, Optional[str]]:
+    """Stamp for the committed trajectory: commit, UTC time, python."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "git_commit": commit,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": host_platform.python_version(),
+    }

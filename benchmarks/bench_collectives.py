@@ -33,7 +33,14 @@ import argparse
 import json
 import platform as host_platform
 import sys
+from pathlib import Path
 
+# The benchmarks are plain scripts, but tests load them by file path
+# (importlib.spec_from_file_location), which skips the script-directory
+# sys.path entry -- add it so the shared provenance stamp resolves.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _provenance import provenance  # noqa: E402
 from repro._version import __version__
 from repro.core.analysis import ORIGINAL, geometric_bandwidths
 from repro.core.reporting import format_table
@@ -41,25 +48,6 @@ from repro.experiments import Experiment
 
 TOPOLOGIES = ["flat", "tree:radix=4,bandwidth_scale=2.0,links=2", "torus:links=1"]
 MODELS = ["analytical", "decomposed"]
-
-
-def _provenance():
-    """Stamp for the committed trajectory: commit, UTC time, python."""
-    import subprocess
-    from datetime import datetime, timezone
-    from pathlib import Path
-    try:
-        commit = subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            cwd=Path(__file__).resolve().parent, timeout=10,
-        ).stdout.strip() or None
-    except (OSError, subprocess.SubprocessError):
-        commit = None
-    return {
-        "git_commit": commit,
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": host_platform.python_version(),
-    }
 
 
 def main(argv=None) -> int:
@@ -143,7 +131,7 @@ def main(argv=None) -> int:
             "benchmark": "collectives",
             "version": __version__,
             "python": host_platform.python_version(),
-            "provenance": _provenance(),
+            "provenance": provenance(),
             "parameters": {
                 "ranks": args.ranks,
                 "iterations": args.iterations,

@@ -42,8 +42,15 @@ import json
 import time
 from collections import deque
 from itertools import count as _count
+import sys
 from pathlib import Path
 
+# The benchmarks are plain scripts, but tests load them by file path
+# (importlib.spec_from_file_location), which skips the script-directory
+# sys.path entry -- add it so the shared provenance stamp resolves.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _provenance import provenance  # noqa: E402
 from repro.apps.registry import create_application
 from repro.core.analysis import geometric_bandwidths
 from repro.core.chunking import FixedCountChunking
@@ -591,24 +598,6 @@ class LegacyReplayEngine:
 DEFAULT_APPS = ["nas-bt", "nas-cg", "sweep3d"]
 
 
-def _provenance():
-    """Stamp for the committed trajectory: commit, UTC time, python."""
-    import platform as platform_module
-    import subprocess
-    from datetime import datetime, timezone
-    try:
-        commit = subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            cwd=Path(__file__).resolve().parent, timeout=10,
-        ).stdout.strip() or None
-    except (OSError, subprocess.SubprocessError):
-        commit = None
-    return {
-        "git_commit": commit,
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": platform_module.python_version(),
-    }
-
 
 def _build_workload(apps, ranks, iterations, samples):
     """(app, variant_label, trace) x platform grid, sweep-shaped.
@@ -688,7 +677,7 @@ def main(argv=None) -> int:
     rows = []
     report = {
         "benchmark": "replay_core",
-        "provenance": _provenance(),
+        "provenance": provenance(),
         "config": {
             "ranks": args.ranks,
             "iterations": args.iterations,

@@ -36,6 +36,12 @@ import tempfile
 import time
 from pathlib import Path
 
+# The benchmarks are plain scripts, but tests load them by file path
+# (importlib.spec_from_file_location), which skips the script-directory
+# sys.path entry -- add it so the shared provenance stamp resolves.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _provenance import provenance  # noqa: E402
 from repro._version import __version__
 from repro.core import executor as executor_module
 from repro.core.analysis import geometric_bandwidths
@@ -50,23 +56,6 @@ def stable_rows(result):
              if key != "task_seconds"}
             for row in result.to_rows()]
 
-
-def _provenance():
-    """Stamp for the committed trajectory: commit, UTC time, python."""
-    import subprocess
-    from datetime import datetime, timezone
-    try:
-        commit = subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            cwd=Path(__file__).resolve().parent, timeout=10,
-        ).stdout.strip() or None
-    except (OSError, subprocess.SubprocessError):
-        commit = None
-    return {
-        "git_commit": commit,
-        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": host_platform.python_version(),
-    }
 
 
 def main(argv=None) -> int:
@@ -175,7 +164,7 @@ def main(argv=None) -> int:
             "benchmark": "result_cache",
             "version": __version__,
             "python": host_platform.python_version(),
-            "provenance": _provenance(),
+            "provenance": provenance(),
             "parameters": {
                 "app": args.app,
                 "ranks": args.ranks,

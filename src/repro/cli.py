@@ -173,6 +173,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-precheck", action="store_true",
                      help="skip the static trace analysis that rejects "
                           "defective traces before any replay starts")
+    run.add_argument("--profile", metavar="PATH", default=None,
+                     help="run the replay under cProfile, dump the raw "
+                          "stats to PATH and print the top 20 functions "
+                          "by cumulative time to stderr")
     _add_cache_arguments(run)
 
     cache = subparsers.add_parser(
@@ -194,6 +198,10 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_platform_arguments(simulate)
     simulate.add_argument("--trace", required=True, help="trace file written by 'trace'")
     simulate.add_argument("--prv", help="also export the timeline as a Paraver .prv file")
+    simulate.add_argument("--profile", metavar="PATH", default=None,
+                          help="run the replay under cProfile, dump the raw "
+                               "stats to PATH and print the top 20 functions "
+                               "by cumulative time to stderr")
 
     profile = subparsers.add_parser(
         "profile", help="print the statistics of a saved trace file")
@@ -300,11 +308,19 @@ def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--intranode-latency", type=float, default=1.0e-6,
                         help="intra-node latency in seconds")
     parser.add_argument("--replay-backend", default="event",
-                        choices=["event", "compiled"],
+                        choices=["event", "compiled", "adaptive"],
                         help="replay implementation: 'event' walks every "
                              "record through the DES, 'compiled' "
                              "batch-advances contention-free stretches "
-                             "(bit-identical results, faster)")
+                             "(bit-identical results, faster), 'adaptive' "
+                             "fast-forwards contention-free windows in "
+                             "closed form (bit-identical where proven, "
+                             "bounded-error elsewhere, fastest)")
+    parser.add_argument("--max-relative-error", type=float, default=0.01,
+                        help="relative-error bound for the 'adaptive' "
+                             "backend's contended windows; 0 forbids "
+                             "approximation (exact fallback); ignored by "
+                             "the exact backends")
 
 
 # -- spec construction from flags ---------------------------------------------
@@ -332,6 +348,7 @@ def _platform_options(args: argparse.Namespace) -> dict:
         "intranode_bandwidth_mbps": args.intranode_bandwidth,
         "intranode_latency": args.intranode_latency,
         "replay_backend": args.replay_backend,
+        "max_relative_error": args.max_relative_error,
     }
 
 
@@ -539,6 +556,32 @@ def _print_topology_sweep(result) -> int:
     return 0
 
 
+def _profiled(path, call):
+    """Run ``call()`` under :mod:`cProfile` when ``path`` is set.
+
+    Dumps the raw profiler stats to ``path`` (loadable with
+    ``python -m pstats``) and prints the top 20 functions by cumulative
+    time to stderr, keeping stdout free for the regular result tables.
+    """
+    if not path:
+        return call()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = call()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(f"wrote cProfile stats to {path}; top 20 by cumulative time:",
+              file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+    return result
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.from_file(args.spec)
     if args.jobs is not None:
@@ -553,8 +596,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = _resolve_store(args)
     if args.dry_run:
         return _print_dry_run(spec, store)
-    result = run_experiment(spec, store=store,
-                            precheck=not args.no_precheck)
+    result = _profiled(
+        args.profile,
+        lambda: run_experiment(spec, store=store,
+                               precheck=not args.no_precheck))
     if not args.quiet:
         for cell in result.cells:
             print()
@@ -632,7 +677,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = Trace.load(args.trace)
     platform = _make_platform(args)
-    result = DimemasSimulator(platform).simulate(trace)
+    result = _profiled(args.profile,
+                       lambda: DimemasSimulator(platform).simulate(trace))
     rows = [[key, value] for key, value in sorted(result.describe().items())]
     print(format_table(["metric", "value"], rows,
                        title=f"replay of {args.trace} on {platform.bandwidth_mbps} MB/s"))

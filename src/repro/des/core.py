@@ -211,6 +211,29 @@ class Environment:
                        (self._now, PRIORITY_URGENT, next(self._eid), event))
         return event
 
+    def advance_to(self, when: float) -> float:
+        """Batch time advance: jump the clock to ``when`` without events.
+
+        The primitive of the adaptive replay backend: a fast-forwarded
+        window computes its end time in closed form, and the environment
+        clock must reflect it without paying for the thousands of timeouts
+        the window elided.  Jumping is only legal when no scheduled event
+        would have fired on the way -- otherwise the elision would have
+        skipped an observable side effect -- so the call refuses to leap
+        over a pending event (events scheduled exactly *at* ``when`` are
+        fine: they have not fired yet at that instant).
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot advance the clock backwards "
+                f"(when={when!r}, now={self._now!r})")
+        if self._queue and self._queue[0][0] < when:
+            raise DesError(
+                f"cannot advance to {when!r}: an event is scheduled "
+                f"earlier, at {self._queue[0][0]!r}")
+        self._now = float(when)
+        return self._now
+
     def step(self) -> None:
         """Process the next scheduled event."""
         queue = self._queue

@@ -47,9 +47,14 @@ PLATFORM_FIELDS = {
     # Stored in the compact string form ("decomposed:bcast=ring"); Platform
     # parses it back into a CollectiveSpec.
     "collective_model": str,
-    # "event" or "compiled"; bit-identical results, so result-cache keys
-    # ignore it (see repro.store.keys.platform_fingerprint).
+    # "event", "compiled" or "adaptive".  The exact backends are
+    # bit-identical, so result-cache keys ignore the knob for them; the
+    # approximate "adaptive" backend is keyed, together with its error
+    # bound (see repro.store.keys.platform_fingerprint).
     "replay_backend": str,
+    # Relative-error bound the "adaptive" backend enforces on contended
+    # windows; ignored by the exact backends.
+    "max_relative_error": float,
 }
 
 #: Backwards-compatible private alias.

@@ -53,9 +53,20 @@ class Platform:
     * ``replay_backend`` selects the replay implementation: ``event`` (the
       default) walks every record through the generic DES, ``compiled``
       batch-advances contention-free stretches (fused CPU-burst segments,
-      event-elided uncontended transfers).  The two backends produce
-      bit-identical results -- the knob trades nothing but wall time, and
-      is therefore excluded from result-cache keys.
+      event-elided uncontended transfers), and ``adaptive`` fast-forwards
+      entire contention-free windows with closed-form per-rank time
+      recurrences, entering the DES only when decomposed collectives or
+      CPU contention force real event interleaving.  ``event`` and
+      ``compiled`` produce bit-identical results and are excluded from
+      result-cache keys; ``adaptive`` may approximate queueing order on
+      contended networks (bounded by ``max_relative_error``) and therefore
+      *is* part of the cache key;
+    * ``max_relative_error`` bounds the relative divergence the
+      ``adaptive`` backend is allowed on elapsed-time scalars versus the
+      exact ``event`` backend.  Windows the classifier proves
+      contention-free are replayed exactly regardless of this knob; it
+      only governs (and keys) the approximate fast-forward of contended
+      windows.  Ignored by the exact backends.
     """
 
     name: str = "default"
@@ -74,6 +85,7 @@ class Platform:
     topology: TopologySpec = TopologySpec()
     collective_model: CollectiveSpec = CollectiveSpec()
     replay_backend: str = "event"
+    max_relative_error: float = 0.01
 
     def __post_init__(self) -> None:
         if isinstance(self.topology, str):
@@ -106,10 +118,12 @@ class Platform:
             raise ConfigurationError("eager_threshold must be non-negative")
         if self.processors_per_node < 1:
             raise ConfigurationError("processors_per_node must be >= 1")
-        if self.replay_backend not in ("event", "compiled"):
+        if self.replay_backend not in ("event", "compiled", "adaptive"):
             raise ConfigurationError(
-                f"replay_backend must be 'event' or 'compiled', "
+                f"replay_backend must be 'event', 'compiled' or 'adaptive', "
                 f"got {self.replay_backend!r}")
+        if self.max_relative_error < 0:
+            raise ConfigurationError("max_relative_error must be non-negative")
 
     # -- derived quantities -------------------------------------------------
     @property
@@ -188,6 +202,10 @@ class Platform:
     def with_replay_backend(self, replay_backend: str) -> "Platform":
         """A copy of this platform replayed through a different backend."""
         return replace(self, replay_backend=replay_backend)
+
+    def with_max_relative_error(self, max_relative_error: float) -> "Platform":
+        """A copy of this platform with a different adaptive error bound."""
+        return replace(self, max_relative_error=max_relative_error)
 
     @classmethod
     def ideal_network(cls, name: str = "ideal") -> "Platform":

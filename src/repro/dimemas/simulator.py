@@ -41,6 +41,11 @@ class DimemasSimulator:
         metadata = dict(trace.metadata)
         if label is not None:
             metadata["label"] = label
+        if engine.adaptive_summary is not None:
+            # How the adaptive backend handled this cell: fast-forward or
+            # DES fallback, window counts, and the error bound the numbers
+            # carry (0.0 when every window was proven contention-free).
+            metadata["adaptive"] = dict(engine.adaptive_summary)
         return SimulationResult(
             platform=platform,
             total_time=total_time,

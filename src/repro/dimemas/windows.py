@@ -1,0 +1,261 @@
+"""Contention-free window classification for the adaptive replay backend.
+
+The ``adaptive`` backend fast-forwards a replay with closed-form per-rank
+time recurrences instead of discrete events.  That is only *exact* when no
+shared resource can be oversubscribed, and only *well-defined* when the
+trace's progress structure can be proven without replaying it.  This module
+is the pre-replay pass that decides both, over the prepared record streams
+(:meth:`repro.tracing.trace.Trace.prepared`):
+
+* **Viability** -- the whole-trace conditions under which the closed-form
+  recurrences reproduce the event backend's semantics: analytical
+  collectives (every collective is a global barrier with a closed-form
+  duration -- the decomposed model injects phase traffic that must really
+  interleave), no CPU contention (a shared CPU resource's wake-up order is
+  a global property of the DES), no unknown records, cross-rank agreement
+  on collective counts and parameters (a disagreeing trace must fail
+  through the real engine so it raises the exact same error), and a clean
+  run of the static matcher from :mod:`repro.analysis.tracelint` -- the
+  zero-time symbolic replay is exact for progress semantics, so a trace it
+  proves matchable cannot deadlock under fast-forwarding.
+
+* **Windows** -- under analytical collectives every collective is a global
+  synchronisation point, so the trace decomposes into ``collectives + 1``
+  windows.  A window is *proven contention-free* when it moves no
+  inter-node message (intra-node transfers bypass every network resource)
+  or when the platform's network has no limited resource at all
+  (per-topology classification below).  Proven windows are replayed
+  bit-exactly by construction; contended windows are fast-forwarded with a
+  FIFO resource micro-model (faithful to the DES's sequential acquisition
+  and FIFO grants, with same-instant tie order approximated) whose
+  divergence the ``max_relative_error`` knob bounds (enforced by the
+  accuracy harness, ``benchmarks/bench_adaptive.py``).
+
+Classification is cheap (one pass plus the symbolic replay) and memoized
+per trace content, so a bandwidth sweep classifies each trace once, not
+once per platform point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tracelint import _SymbolicReplay
+from repro.dimemas.collectives.base import ANALYTICAL
+from repro.dimemas.platform import Platform
+from repro.dimemas.topology import FLAT, TORUS, TREE
+from repro.tracing.trace import OP_COLLECTIVE, OP_SEND, OP_UNKNOWN, Trace
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """The classifier's verdict for one (trace, platform) cell.
+
+    ``fast_forward`` is the operative bit: the adaptive engine fast-forwards
+    when it is set and falls back to the exact compiled/event path (with
+    ``reason`` explaining why) when it is not.  ``proven_exact`` asserts the
+    fast-forwarded result is bit-identical to the event backend: every
+    window is contention-free, so the closed-form recurrences replicate the
+    DES float-for-float.
+    """
+
+    viable: bool
+    fast_forward: bool
+    reason: Optional[str]
+    network_uncontended: bool
+    num_windows: int
+    proven_windows: int
+    internode_messages: int
+    intranode_messages: int
+
+    @property
+    def proven_exact(self) -> bool:
+        """True when fast-forwarding provably equals the event backend."""
+        return self.fast_forward and self.proven_windows == self.num_windows
+
+
+class _TraceFacts:
+    """Platform-independent facts of one trace content (memoized)."""
+
+    __slots__ = ("defect", "num_windows", "window_internode",
+                 "internode_messages", "intranode_messages")
+
+    def __init__(self, defect: Optional[str] = None, num_windows: int = 0,
+                 window_internode: Tuple[int, ...] = (),
+                 internode_messages: int = 0, intranode_messages: int = 0):
+        self.defect = defect
+        self.num_windows = num_windows
+        self.window_internode = window_internode
+        self.internode_messages = internode_messages
+        self.intranode_messages = intranode_messages
+
+
+#: Facts keyed by (trace content digest, eager threshold, ranks per node).
+#: Bounded like the prepared-trace memo: a hit is a fast path, never a
+#: correctness dependency.
+_FACTS_MEMO: Dict[Tuple[str, int, int], _TraceFacts] = {}
+_FACTS_MEMO_LIMIT = 256
+
+
+def _compute_facts(trace: Trace, eager_threshold: int,
+                   processors_per_node: int) -> _TraceFacts:
+    ops = trace.prepared().ops
+    num_ranks = trace.num_ranks
+
+    # Structural sanity: unknown records would raise mid-replay, and the
+    # collective coordinator's TL201/TL203 checks must fire from the real
+    # engine (same error text, same discovery order), so any disagreement
+    # sends the cell to the exact fallback.
+    collective_rows: List[List[Tuple[str, int, int]]] = []
+    for rank, rank_ops in enumerate(ops):
+        row = []
+        for op, record in rank_ops:
+            if op == OP_UNKNOWN:
+                return _TraceFacts(
+                    defect=f"rank {rank} carries a record the replay engine "
+                           f"does not know ({record!r})")
+            if op == OP_COLLECTIVE:
+                row.append((record.operation, record.root, record.size))
+        collective_rows.append(row)
+    first = collective_rows[0]
+    for rank, row in enumerate(collective_rows):
+        if len(row) != len(first):
+            return _TraceFacts(
+                defect=f"ranks disagree on collective counts "
+                       f"(rank 0: {len(first)}, rank {rank}: {len(row)})")
+        if row != first:
+            return _TraceFacts(
+                defect=f"rank {rank} disagrees with rank 0 on collective "
+                       f"parameters")
+
+    # Matchability proof: the symbolic replay of repro.analysis.tracelint
+    # is exact for progress semantics (only posting order matters), so a
+    # clean fixpoint guarantees the fast-forward interpreter never
+    # deadlocks -- without replaying anything.
+    stuck = _SymbolicReplay(ops, num_ranks, eager_threshold).run()
+    if stuck:
+        return _TraceFacts(
+            defect=f"static matcher cannot prove progress "
+                   f"(ranks {stuck} block)")
+
+    # Window decomposition: analytical collectives are global barriers, so
+    # window w spans every rank's records between its (w-1)-th and w-th
+    # collective.  Count the inter-node messages per window -- a window
+    # without any is contention-free on every platform.
+    num_windows = len(first) + 1
+    window_internode = [0] * num_windows
+    internode = 0
+    intranode = 0
+    for rank, rank_ops in enumerate(ops):
+        window = 0
+        src_node = rank // processors_per_node
+        for op, record in rank_ops:
+            if op == OP_COLLECTIVE:
+                window += 1
+            elif op == OP_SEND:
+                if record.dst // processors_per_node == src_node:
+                    intranode += 1
+                else:
+                    internode += 1
+                    window_internode[window] += 1
+    return _TraceFacts(num_windows=num_windows,
+                       window_internode=tuple(window_internode),
+                       internode_messages=internode,
+                       intranode_messages=intranode)
+
+
+def _trace_facts(trace: Trace, eager_threshold: int,
+                 processors_per_node: int) -> _TraceFacts:
+    # Per-instance cache first: a platform sweep classifies the same trace
+    # object once per (eager threshold, mapping) pair, not once per
+    # bandwidth point -- and without requiring anyone to have computed the
+    # content digest.
+    instance_memo = getattr(trace, "_window_facts", None)
+    if instance_memo is None:
+        instance_memo = {}
+        trace._window_facts = instance_memo
+    instance_key = (eager_threshold, processors_per_node)
+    facts = instance_memo.get(instance_key)
+    if facts is not None:
+        return facts
+    digest = getattr(trace, "_digest", None)
+    if digest is None:
+        # No content digest known (one-off simulate): skip the cross-object
+        # memo rather than paying a full content hash for a single use.
+        facts = _compute_facts(trace, eager_threshold, processors_per_node)
+        instance_memo[instance_key] = facts
+        return facts
+    key = (digest, eager_threshold, processors_per_node)
+    facts = _FACTS_MEMO.get(key)
+    if facts is None:
+        facts = _compute_facts(trace, eager_threshold, processors_per_node)
+        if len(_FACTS_MEMO) >= _FACTS_MEMO_LIMIT:
+            _FACTS_MEMO.clear()
+        _FACTS_MEMO[key] = facts
+    instance_memo[instance_key] = facts
+    return facts
+
+
+def network_uncontended(platform: Platform) -> bool:
+    """True when the platform's network has no limited resource at all.
+
+    Per-topology classification mirroring the models' resource
+    construction (``_make_resource(0)`` builds an ``InfiniteResource``):
+
+    * ``flat``: buses and both per-node link directions unlimited
+      (``Platform.ideal_network()`` is the canonical such platform);
+    * ``tree``/``torus``: ``links == 0`` (every edge unlimited).
+
+    Unknown kinds classify conservatively as contended.
+    """
+    spec = platform.topology
+    if spec.kind == FLAT:
+        return (platform.num_buses == 0 and platform.input_links == 0
+                and platform.output_links == 0)
+    if spec.kind in (TREE, TORUS):
+        return spec.links == 0
+    return False
+
+
+def classify(trace: Trace, platform: Platform) -> WindowPlan:
+    """Decide whether (and how exactly) this cell can be fast-forwarded."""
+    if platform.collective_model.kind != ANALYTICAL:
+        return WindowPlan(
+            viable=False, fast_forward=False,
+            reason="decomposed collectives inject phase traffic that must "
+                   "interleave through the DES",
+            network_uncontended=False, num_windows=0, proven_windows=0,
+            internode_messages=0, intranode_messages=0)
+    if platform.cpu_contention:
+        return WindowPlan(
+            viable=False, fast_forward=False,
+            reason="CPU contention makes burst wake-ups a global property "
+                   "of the DES",
+            network_uncontended=False, num_windows=0, proven_windows=0,
+            internode_messages=0, intranode_messages=0)
+    facts = _trace_facts(trace, platform.eager_threshold,
+                         platform.processors_per_node)
+    if facts.defect is not None:
+        return WindowPlan(
+            viable=False, fast_forward=False, reason=facts.defect,
+            network_uncontended=False, num_windows=0, proven_windows=0,
+            internode_messages=0, intranode_messages=0)
+    uncontended = network_uncontended(platform)
+    if uncontended:
+        proven = facts.num_windows
+    else:
+        proven = sum(1 for count in facts.window_internode if count == 0)
+    all_proven = proven == facts.num_windows
+    if all_proven or platform.max_relative_error > 0:
+        fast_forward, reason = True, None
+    else:
+        fast_forward = False
+        reason = ("max_relative_error=0 forbids approximate fast-forwarding "
+                  "of contended windows")
+    return WindowPlan(
+        viable=True, fast_forward=fast_forward, reason=reason,
+        network_uncontended=uncontended,
+        num_windows=facts.num_windows, proven_windows=proven,
+        internode_messages=facts.internode_messages,
+        intranode_messages=facts.intranode_messages)

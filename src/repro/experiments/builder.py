@@ -153,12 +153,24 @@ class Experiment:
         return self
 
     def replay_backend(self, backend: str) -> "Experiment":
-        """Select the replay backend (``event`` or ``compiled``).
+        """Select the replay backend (``event``, ``compiled`` or ``adaptive``).
 
-        The backends are bit-identical; ``compiled`` batch-advances
-        contention-free stretches for wall-time speed.
+        ``event`` and ``compiled`` are bit-identical; ``compiled``
+        batch-advances contention-free stretches for wall-time speed.
+        ``adaptive`` fast-forwards contention-free windows in closed form
+        and approximates contended ones within
+        :meth:`max_relative_error` (proven-exact cells stay bit-identical).
         """
         return self.platform(replay_backend=backend)
+
+    def max_relative_error(self, bound: float) -> "Experiment":
+        """Relative-error bound for the ``adaptive`` backend.
+
+        ``0.0`` forbids approximate fast-forwarding entirely: cells with
+        contended windows fall back to the exact DES path.  Ignored by the
+        exact backends.
+        """
+        return self.platform(max_relative_error=bound)
 
     def collect_timelines(self, collect: bool = True) -> "Experiment":
         """Keep full per-replay results (timelines included) on the result."""

@@ -15,8 +15,12 @@ those inputs:
 * the serialized platform point -- every simulation-relevant
   :data:`~repro.dimemas.config.PLATFORM_FIELDS` field (topology and
   collective-model specs in their compact string forms), *excluding* the
-  cosmetic ``name`` label and the ``replay_backend`` knob (the backends
-  are bit-identical, so the choice cannot affect simulated numbers); and
+  cosmetic ``name`` label and -- for the exact backends -- the
+  ``replay_backend`` / ``max_relative_error`` knobs (``event`` and
+  ``compiled`` are bit-identical, so the choice cannot affect simulated
+  numbers).  The approximate ``adaptive`` backend *is* keyed together
+  with its error bound, so approximate results can never be served from
+  -- or poison -- the exact-result cache; and
 * a simulator version salt, so any release that could change simulated
   numbers invalidates the whole store instead of serving stale results.
 
@@ -55,16 +59,23 @@ def canonical_json(payload: Any) -> str:
 def platform_fingerprint(platform: Platform) -> Dict[str, Any]:
     """The simulation-relevant fields of a platform, canonically serialized.
 
-    Every :data:`PLATFORM_FIELDS` entry except ``name`` and
-    ``replay_backend`` participates: the name is a display label that
-    cannot affect simulated numbers, and the replay backend produces
+    Every :data:`PLATFORM_FIELDS` entry except ``name`` participates,
+    with one backend-dependent wrinkle: for the exact backends
+    (``event``/``compiled``) the ``replay_backend`` and
+    ``max_relative_error`` knobs are skipped -- those backends produce
     bit-identical results by contract (pinned by the backend golden
     tests), so a sweep run with ``compiled`` shares its cache with an
-    ``event`` run of the same physics.
+    ``event`` run of the same physics.  The approximate ``adaptive``
+    backend keeps both knobs in the fingerprint: its numbers may differ
+    from the exact ones (and between error bounds), so its cells must
+    never alias an exact cell's address.
     """
+    approximate = platform.replay_backend == "adaptive"
     fingerprint: Dict[str, Any] = {}
     for field in PLATFORM_FIELDS:
-        if field == "name" or field == "replay_backend":
+        if field == "name":
+            continue
+        if field in ("replay_backend", "max_relative_error") and not approximate:
             continue
         if field == "topology":
             fingerprint[field] = platform.topology.to_string()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.des import Environment
-from repro.des.exceptions import EmptySchedule
+from repro.des.exceptions import DesError, EmptySchedule
 
 
 class TestScheduling:
@@ -91,3 +91,39 @@ class TestRun:
         assert env.now == 9.0
         env.run()
         assert env.now == pytest.approx(10.0)
+
+
+class TestAdvanceTo:
+    """Batch time advance: the fast-forward primitive of the adaptive
+    replay backend."""
+
+    def test_jumps_the_clock_without_events(self):
+        env = Environment()
+        assert env.advance_to(12.5) == 12.5
+        assert env.now == 12.5
+
+    def test_advancing_to_now_is_a_no_op(self):
+        env = Environment(initial_time=3.0)
+        assert env.advance_to(3.0) == 3.0
+
+    def test_backwards_rejected(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            env.advance_to(4.0)
+
+    def test_refuses_to_leap_over_a_pending_event(self):
+        env = Environment()
+        env.timeout(2.0)
+        with pytest.raises(DesError, match="scheduled"):
+            env.advance_to(3.0)
+
+    def test_event_exactly_at_the_target_is_allowed(self):
+        # An event scheduled *at* the target has not fired yet at that
+        # instant, so jumping there elides nothing observable.
+        env = Environment()
+        fired = []
+        env.timeout(2.0, value="x").add_callback(
+            lambda ev: fired.append(env.now))
+        assert env.advance_to(2.0) == 2.0
+        env.run()
+        assert fired == [2.0]

@@ -92,6 +92,43 @@ class TestKeySensitivity:
         assert digest_of(salt=simulator_salt()) == digest_of()
 
 
+class TestReplayBackendKeying:
+    """The exact backends share cache entries; the approximate one does not.
+
+    ``event`` and ``compiled`` are bit-identical by contract, so the backend
+    choice must not fragment the cache.  ``adaptive`` results carry an error
+    bound, so they must be keyed separately -- both from the exact backends
+    and from adaptive runs with a different bound.
+    """
+
+    def test_exact_backends_share_a_digest(self):
+        assert digest_of(Platform(replay_backend="event")) == \
+            digest_of(Platform(replay_backend="compiled"))
+
+    def test_exact_fingerprint_omits_the_backend_knobs(self):
+        fingerprint = platform_fingerprint(Platform(replay_backend="compiled"))
+        assert "replay_backend" not in fingerprint
+        assert "max_relative_error" not in fingerprint
+
+    def test_adaptive_gets_its_own_digest(self):
+        assert digest_of(Platform(replay_backend="adaptive")) != \
+            digest_of(Platform(replay_backend="event"))
+
+    def test_adaptive_fingerprint_includes_the_backend_knobs(self):
+        fingerprint = platform_fingerprint(Platform(replay_backend="adaptive"))
+        assert fingerprint["replay_backend"] == "adaptive"
+        assert fingerprint["max_relative_error"] == 0.01
+
+    def test_error_bound_changes_the_adaptive_digest(self):
+        loose = Platform(replay_backend="adaptive", max_relative_error=0.05)
+        tight = Platform(replay_backend="adaptive", max_relative_error=0.0)
+        assert digest_of(loose) != digest_of(tight)
+        assert digest_of(loose) != digest_of(Platform(replay_backend="adaptive"))
+
+    def test_error_bound_is_cosmetic_for_exact_backends(self):
+        assert digest_of(Platform(max_relative_error=0.5)) == digest_of()
+
+
 class TestVariantId:
     def test_no_arguments_is_the_original(self):
         assert variant_id() == ORIGINAL_VARIANT
