@@ -123,6 +123,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["full", "early-send", "late-receive"])
     _add_jobs_argument(study)
     _add_cache_arguments(study)
+    study.add_argument("--profile", metavar="PATH", default=None,
+                       help="run the replay under cProfile, dump the raw "
+                            "stats to PATH and print the top 20 functions "
+                            "by cumulative time to stderr")
 
     sweep = subparsers.add_parser(
         "sweep", help="speedup-versus-bandwidth sweep for one application")
@@ -147,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "per-model columns")
     _add_jobs_argument(sweep)
     _add_cache_arguments(sweep)
+    sweep.add_argument("--profile", metavar="PATH", default=None,
+                       help="run the replay under cProfile, dump the raw "
+                            "stats to PATH and print the top 20 functions "
+                            "by cumulative time to stderr")
 
     run = subparsers.add_parser(
         "run", help="execute a declarative experiment spec file (JSON/TOML)")
@@ -461,7 +469,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     if store is not None:
         print("note: studies keep full timelines, which the result cache "
               "does not hold -- replaying uncached")
-    result = run_experiment(spec, full_results=True, store=store)
+    result = _profiled(
+        args.profile,
+        lambda: run_experiment(spec, full_results=True, store=store))
     study = result.studies()[args.app]
     print(study.summary())
     if args.gantt:
@@ -479,13 +489,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         builder.topologies(split_topology_list(args.topologies))
     if args.collective_models:
         builder.collective_models(split_collective_list(args.collective_models))
+
+    def replay():
+        return _profiled(
+            args.profile,
+            lambda: run_experiment(builder.build(), store=store))
+
     if args.topologies and args.collective_models:
-        return _print_grid_sweep(run_experiment(builder.build(), store=store))
+        return _print_grid_sweep(replay())
     if args.topologies:
-        return _print_topology_sweep(run_experiment(builder.build(), store=store))
+        return _print_topology_sweep(replay())
     if args.collective_models:
-        return _print_collective_sweep(run_experiment(builder.build(), store=store))
-    result = run_experiment(builder.build(), store=store)
+        return _print_collective_sweep(replay())
+    result = replay()
     sweep = result.sweep()
     print(sweep_table(sweep))
     print()

@@ -42,9 +42,11 @@ from typing import (
 )
 
 from repro.core.analysis import ORIGINAL, SweepPoint
+from repro.dimemas.gridreplay import replay_cohort
 from repro.dimemas.platform import Platform
 from repro.dimemas.results import SimulationResult
 from repro.dimemas.simulator import DimemasSimulator
+from repro.dimemas.windows import export_facts, seed_facts
 from repro.errors import AnalysisError, ConfigurationError
 from repro.store.serde import payload_of
 from repro.tracing.trace import Trace
@@ -94,6 +96,38 @@ class SweepTask:
     label: str
     point: int = 0
     collect_timeline: bool = False
+
+
+@dataclass(frozen=True)
+class CohortTask:
+    """A batch of sweep tasks replayed together by the grid-vectorized path.
+
+    Every member shares one trace variant and the structural platform axes
+    (see :func:`repro.dimemas.gridreplay.cohort_signature`); only scalar
+    axes like bandwidth, latency or CPU speed differ, so one vectorized
+    walk evaluates all members at once.  Members keep their own indices,
+    labels and cache keys: results split back out per cell, and
+    write-through caching is indistinguishable from per-cell execution.
+    Cohorts are metric-only -- full-result (timeline) replays never batch.
+    """
+
+    tasks: Tuple[SweepTask, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise AnalysisError("a cohort task needs at least one member")
+        keys = {task.trace_key for task in self.tasks}
+        if len(keys) > 1:
+            raise AnalysisError(
+                f"cohort members must share one trace variant, got {keys}")
+
+    @property
+    def trace_key(self) -> str:
+        return self.tasks[0].trace_key
+
+    @property
+    def width(self) -> int:
+        return len(self.tasks)
 
 
 @dataclass(frozen=True)
@@ -179,11 +213,9 @@ def _replay(task: SweepTask, trace: Trace,
     return _simulate(task, trace, simulator, collect_timeline=True)
 
 
-def _metrics(task: SweepTask, trace: Trace,
-             simulator: Optional[DimemasSimulator]) -> SweepTaskResult:
-    start = time.perf_counter()
-    result = _simulate(task, trace, simulator,
-                       collect_timeline=task.collect_timeline)
+def _task_result(task: SweepTask, result: SimulationResult,
+                 elapsed_seconds: float) -> SweepTaskResult:
+    """The scalar metrics of one finished task (shared by both paths)."""
     network = result.network
     return SweepTaskResult(
         index=task.index,
@@ -192,7 +224,7 @@ def _metrics(task: SweepTask, trace: Trace,
         total_time=result.total_time,
         communication_fraction=result.communication_fraction(),
         max_compute_time=result.max_compute_time(),
-        elapsed_seconds=time.perf_counter() - start,
+        elapsed_seconds=elapsed_seconds,
         worker_pid=os.getpid(),
         point=task.point,
         topology=task.platform.topology.kind,
@@ -205,6 +237,31 @@ def _metrics(task: SweepTask, trace: Trace,
         collective_transfers=network.get("collective_transfers", 0),
         collective_bytes=network.get("collective_bytes", 0),
         collective_share=network.get("collective_share", 0.0))
+
+
+def _metrics(task: SweepTask, trace: Trace,
+             simulator: Optional[DimemasSimulator]) -> SweepTaskResult:
+    start = time.perf_counter()
+    result = _simulate(task, trace, simulator,
+                       collect_timeline=task.collect_timeline)
+    return _task_result(task, result, time.perf_counter() - start)
+
+
+def _run_cohort(cohort: CohortTask, trace: Trace) -> List[SweepTaskResult]:
+    """Replay one cohort batch; the batch wall time is apportioned evenly.
+
+    Per-cell ``elapsed_seconds`` cannot be attributed exactly (the point of
+    the batch is that the cells share one walk), so each member reports the
+    batch time divided by the width -- the aggregate sweep timing stays
+    truthful and cached rows keep a meaningful per-cell cost.
+    """
+    tasks = cohort.tasks
+    start = time.perf_counter()
+    results = replay_cohort(trace, [task.platform for task in tasks],
+                            [task.label for task in tasks])
+    elapsed = (time.perf_counter() - start) / len(tasks)
+    return [_task_result(task, result, elapsed)
+            for task, result in zip(tasks, results)]
 
 
 def _lookup_trace(traces: Dict[str, Any], key: str) -> Any:
@@ -234,7 +291,8 @@ def _init_worker(table: Dict[str, Dict[str, Any]],
                  simulator: Optional[DimemasSimulator] = None,
                  store: Optional["ResultStore"] = None,
                  cache_keys: Optional[Dict[int, "CellKey"]] = None,
-                 digests: Optional[Dict[str, str]] = None) -> None:
+                 digests: Optional[Dict[str, str]] = None,
+                 facts: Optional[List[Tuple[Any, ...]]] = None) -> None:
     global _TRACE_TABLE, _TRACE_CACHE, _TRACE_DIGESTS
     global _SIMULATOR, _STORE, _CACHE_KEYS
     _TRACE_TABLE = table
@@ -243,6 +301,11 @@ def _init_worker(table: Dict[str, Dict[str, Any]],
     _SIMULATOR = simulator
     _STORE = store
     _CACHE_KEYS = cache_keys or {}
+    if facts:
+        # Window-classification facts the parent already proved, keyed by
+        # content digest: seeding them means no worker re-runs the
+        # symbolic matchability proof for a trace the parent classified.
+        seed_facts(facts)
 
 
 def _worker_trace(key: str) -> Trace:
@@ -288,6 +351,21 @@ def _run_task_metrics(task: SweepTask) -> SweepTaskResult:
     result = _metrics(task, _worker_trace(task.trace_key), _SIMULATOR)
     _store_result(task, result, _STORE, _CACHE_KEYS)
     return result
+
+
+def _run_cohort_metrics(cohort: CohortTask) -> List[SweepTaskResult]:
+    results = _run_cohort(cohort, _worker_trace(cohort.trace_key))
+    for task, result in zip(cohort.tasks, results):
+        _store_result(task, result, _STORE, _CACHE_KEYS)
+    return results
+
+
+def _run_unit_metrics(unit: Union[SweepTask, "CohortTask"]
+                      ) -> List[SweepTaskResult]:
+    """Pool worker for mixed task/cohort streams: always returns a batch."""
+    if type(unit) is CohortTask:
+        return _run_cohort_metrics(unit)
+    return [_run_task_metrics(unit)]
 
 
 class SweepExecutor:
@@ -337,7 +415,8 @@ class SweepExecutor:
         return tasks
 
     # -- execution ---------------------------------------------------------
-    def execute(self, tasks: Sequence[SweepTask], traces: Dict[str, Trace],
+    def execute(self, tasks: Sequence[Union[SweepTask, CohortTask]],
+                traces: Dict[str, Trace],
                 full_results: bool = False,
                 simulator: Optional[DimemasSimulator] = None,
                 store: Optional["ResultStore"] = None,
@@ -357,40 +436,124 @@ class SweepExecutor:
         the process that computed it, immediately, which is what makes
         interrupted sweeps resumable.  Full-result replays are never written
         through (timelines are not cached).
+
+        The sequence may mix :class:`SweepTask` units with
+        :class:`CohortTask` batches (metric mode only).  When it does, the
+        flattened per-cell results come back sorted by task index -- batch
+        execution order is a scheduling detail, never an output order --
+        and parallel runs submit units largest-first (estimated trace
+        records x cohort width) so one fat batch cannot serialize the tail
+        of the sweep.
         """
         cache_keys = cache_keys or {}
         if full_results:
             store = None
-        if self.jobs == 1 or len(tasks) <= 1:
+        units = list(tasks)
+        cohorts_present = any(type(unit) is CohortTask for unit in units)
+        if cohorts_present:
+            if full_results:
+                raise AnalysisError(
+                    "cohort batch tasks are metric-only; expand them into "
+                    "per-cell tasks for full results")
+            if simulator is not None and type(simulator) is not DimemasSimulator:
+                raise AnalysisError(
+                    "cohort batch tasks replay through the stock simulator; "
+                    "custom simulators need per-cell tasks")
+        flat_tasks: List[SweepTask] = []
+        for unit in units:
+            if type(unit) is CohortTask:
+                flat_tasks.extend(unit.tasks)
+            else:
+                flat_tasks.append(unit)
+        if self.jobs == 1 or len(units) <= 1:
             # Warm the preparation cache up front so the first task of a
             # variant is not charged for the normalisation of all of them.
             # Store-backed runs hash the content first: the digest-keyed
             # memo then shares one compiled stream across every Trace
             # object with equal content, so a resumed or repeated sweep in
             # the same process never recompiles a trace it has seen.
-            for task in tasks:
+            for task in flat_tasks:
                 trace = _lookup_trace(traces, task.trace_key)
                 if store is not None:
                     trace.digest()
                 trace.prepared()
-            run = _replay if full_results else _metrics
             results: List[Any] = []
-            for task in tasks:
-                result = run(task, _lookup_trace(traces, task.trace_key),
-                             simulator)
-                if not full_results:
-                    _store_result(task, result, store, cache_keys)
-                results.append(result)
+            for unit in units:
+                if type(unit) is CohortTask:
+                    batch = _run_cohort(
+                        unit, _lookup_trace(traces, unit.trace_key))
+                    for task, result in zip(unit.tasks, batch):
+                        _store_result(task, result, store, cache_keys)
+                    results.extend(batch)
+                elif full_results:
+                    results.append(_replay(
+                        unit, _lookup_trace(traces, unit.trace_key),
+                        simulator))
+                else:
+                    result = _metrics(
+                        unit, _lookup_trace(traces, unit.trace_key),
+                        simulator)
+                    _store_result(unit, result, store, cache_keys)
+                    results.append(result)
+            if cohorts_present:
+                results.sort(key=lambda result: result.index)
+            return results
+        table = {key: trace.to_dict() for key, trace in traces.items()}
+        # Ship the window-classification facts the parent has (or can
+        # cheaply re-derive from its memo) for every adaptive cell, so no
+        # worker re-proves windows the parent already proved.  Facts are
+        # digest-keyed, so shipping them requires shipping digests too.
+        facts_rows: List[Tuple[Any, ...]] = []
+        facts_seen = set()
+        if not full_results:
+            for task in flat_tasks:
+                platform = task.platform
+                if (platform.replay_backend != "adaptive"
+                        or platform.cpu_contention):
+                    continue
+                fact_key = (task.trace_key, platform.eager_threshold,
+                            platform.processors_per_node)
+                if fact_key in facts_seen:
+                    continue
+                facts_seen.add(fact_key)
+                trace = _lookup_trace(traces, task.trace_key)
+                trace.digest()
+                row = export_facts(trace, platform.eager_threshold,
+                                   platform.processors_per_node)
+                if row is not None:
+                    facts_rows.append(row)
+        digests = ({key: trace.digest() for key, trace in traces.items()}
+                   if store is not None or facts_rows else None)
+        initargs = (table, simulator, store, cache_keys, digests, facts_rows)
+        if cohorts_present:
+            sizes = {key: sum(len(rank_trace) for rank_trace in trace)
+                     for key, trace in traces.items()}
+
+            def _estimate(unit) -> int:
+                records = sizes.get(unit.trace_key, 1)
+                if type(unit) is CohortTask:
+                    return records * unit.width
+                return records
+
+            def _first_index(unit) -> int:
+                return (unit.tasks[0].index if type(unit) is CohortTask
+                        else unit.index)
+
+            ordered = sorted(units, key=lambda unit: (-_estimate(unit),
+                                                      _first_index(unit)))
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(units)),
+                                     initializer=_init_worker,
+                                     initargs=initargs) as pool:
+                results = [result
+                           for batch in pool.map(_run_unit_metrics, ordered)
+                           for result in batch]
+            results.sort(key=lambda result: result.index)
             return results
         worker = _run_task_full if full_results else _run_task_metrics
-        table = {key: trace.to_dict() for key, trace in traces.items()}
-        digests = ({key: trace.digest() for key, trace in traces.items()}
-                   if store is not None else None)
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)),
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(units)),
                                  initializer=_init_worker,
-                                 initargs=(table, simulator, store,
-                                           cache_keys, digests)) as pool:
-            return list(pool.map(worker, tasks))
+                                 initargs=initargs) as pool:
+            return list(pool.map(worker, units))
 
     # -- merging -----------------------------------------------------------
     @staticmethod

@@ -188,14 +188,19 @@ class _FastMessage:
     ranks blocked on this message.
     """
 
-    __slots__ = ("src", "dst", "tag", "size", "eager", "send_posted",
+    __slots__ = ("src", "dst", "tag", "order", "size", "eager", "send_posted",
                  "recv_posted", "send_time", "recv_time", "arrival",
                  "transfer_start", "waiters", "r_notified", "s_notified")
 
-    def __init__(self, src: int, dst: int, tag: int):
+    def __init__(self, src: int, dst: int, tag: int, order: int = 0):
         self.src = src
         self.dst = dst
         self.tag = tag
+        # Pair index within (src, dst, tag): matching is FIFO per key, so
+        # the k-th created message of a key IS the k-th matched pair --
+        # a time-independent identity used to emit network statistics in
+        # canonical order on proven cells (see _run_adaptive).
+        self.order = order
         self.size = 0
         self.eager = False
         self.send_posted = False
@@ -627,6 +632,18 @@ class ReplayEngine:
         collectives: List[_FastCollective] = []
         pending_sends: Dict[Tuple[int, int, int], Any] = {}
         pending_recvs: Dict[Tuple[int, int, int], Any] = {}
+        #: Per-(src, dst, tag) creation counter: assigns each message its
+        #: FIFO pair index (a time-independent identity).
+        pair_index: Dict[Tuple[int, int, int], int] = {}
+        #: Proven cells emit network statistics in canonical (src, dst,
+        #: tag, pair index) order instead of completion order: transfers
+        #: are buffered as (src, dst, tag, order, size, duration, route)
+        #: -- route None for intranode -- and flushed sorted at the end.
+        #: The float sums per transfer are unchanged; only the global
+        #: accumulation order is, which moves aggregate means by at most
+        #: an ulp but makes them independent of which replay path (scalar
+        #: or grid-vectorized) produced them.
+        stat_buffer: List[Tuple[Any, ...]] = []
         #: FIFO resource model for contended transfers, mirroring
         #: repro.des.resources.Resource: limited resource ->
         #: [capacity, active holds, FIFO deque of parked _TransferTask].
@@ -865,7 +882,11 @@ class ReplayEngine:
             if src_node == dst_node:
                 duration = intranode_time(size, intranode=True)
                 message.transfer_start = start
-                record_stat(size, 0.0, duration, True)
+                if use_bound:
+                    record_stat(size, 0.0, duration, True)
+                else:
+                    stat_buffer.append((message.src, message.dst, message.tag,
+                                        message.order, size, duration, None))
                 arrival = start + duration
             else:
                 route = route_of(src_node, dst_node)
@@ -891,10 +912,15 @@ class ReplayEngine:
                 for hop in route:
                     hop_duration = hop.transfer_time(size)
                     duration += hop_duration
-                    record_hop(hop.name, 0.0)
                     ready = ready + hop_duration
                 message.transfer_start = start
-                record_stat(size, 0.0, duration, False)
+                if use_bound:
+                    for hop in route:
+                        record_hop(hop.name, 0.0)
+                    record_stat(size, 0.0, duration, False)
+                else:
+                    stat_buffer.append((message.src, message.dst, message.tag,
+                                        message.order, size, duration, route))
                 arrival = ready
             if use_bound:
                 # Contended cell: pace even the closed-form completion
@@ -989,7 +1015,10 @@ class ReplayEngine:
                     if queue:
                         message = queue.popleft()
                     else:
-                        message = _FastMessage(rank, record.dst, record.tag)
+                        order = pair_index.get(key, 0)
+                        pair_index[key] = order + 1
+                        message = _FastMessage(rank, record.dst, record.tag,
+                                               order)
                         pending = pending_sends.get(key)
                         if pending is None:
                             pending = pending_sends[key] = deque()
@@ -1045,7 +1074,10 @@ class ReplayEngine:
                     if queue:
                         message = queue.popleft()
                     else:
-                        message = _FastMessage(record.src, rank, record.tag)
+                        order = pair_index.get(key, 0)
+                        pair_index[key] = order + 1
+                        message = _FastMessage(record.src, rank, record.tag,
+                                               order)
                         pending = pending_recvs.get(key)
                         if pending is None:
                             pending = pending_recvs[key] = deque()
@@ -1222,6 +1254,19 @@ class ReplayEngine:
             raise SimulationError(
                 "replay deadlocked: " + "; ".join(details)
                 + f"; unmatched postings: {unmatched}")
+
+        if not use_bound:
+            # Canonical network-statistics flush.  The first four elements
+            # (src, dst, tag, pair index) are unique per transfer, so the
+            # plain tuple sort never compares routes.
+            stat_buffer.sort()
+            for _src, _dst, _tag, _order, size, duration, route in stat_buffer:
+                if route is None:
+                    record_stat(size, 0.0, duration, True)
+                else:
+                    for hop in route:
+                        record_hop(hop.name, 0.0)
+                    record_stat(size, 0.0, duration, False)
 
         stats = self.stats
         for rank in range(num_ranks):

@@ -38,8 +38,9 @@ once per platform point.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.tracelint import _SymbolicReplay
 from repro.dimemas.collectives.base import ANALYTICAL
@@ -79,16 +80,18 @@ class _TraceFacts:
     """Platform-independent facts of one trace content (memoized)."""
 
     __slots__ = ("defect", "num_windows", "window_internode",
-                 "internode_messages", "intranode_messages")
+                 "internode_messages", "intranode_messages", "message_sizes")
 
     def __init__(self, defect: Optional[str] = None, num_windows: int = 0,
                  window_internode: Tuple[int, ...] = (),
-                 internode_messages: int = 0, intranode_messages: int = 0):
+                 internode_messages: int = 0, intranode_messages: int = 0,
+                 message_sizes: Tuple[int, ...] = ()):
         self.defect = defect
         self.num_windows = num_windows
         self.window_internode = window_internode
         self.internode_messages = internode_messages
         self.intranode_messages = intranode_messages
+        self.message_sizes = message_sizes
 
 
 #: Facts keyed by (trace content digest, eager threshold, ranks per node).
@@ -147,6 +150,7 @@ def _compute_facts(trace: Trace, eager_threshold: int,
     window_internode = [0] * num_windows
     internode = 0
     intranode = 0
+    sizes = set()
     for rank, rank_ops in enumerate(ops):
         window = 0
         src_node = rank // processors_per_node
@@ -154,6 +158,7 @@ def _compute_facts(trace: Trace, eager_threshold: int,
             if op == OP_COLLECTIVE:
                 window += 1
             elif op == OP_SEND:
+                sizes.add(record.size)
                 if record.dst // processors_per_node == src_node:
                     intranode += 1
                 else:
@@ -162,7 +167,8 @@ def _compute_facts(trace: Trace, eager_threshold: int,
     return _TraceFacts(num_windows=num_windows,
                        window_internode=tuple(window_internode),
                        internode_messages=internode,
-                       intranode_messages=intranode)
+                       intranode_messages=intranode,
+                       message_sizes=tuple(sorted(sizes)))
 
 
 def _trace_facts(trace: Trace, eager_threshold: int,
@@ -195,6 +201,62 @@ def _trace_facts(trace: Trace, eager_threshold: int,
         _FACTS_MEMO[key] = facts
     instance_memo[instance_key] = facts
     return facts
+
+
+def protocol_class(trace: Trace, eager_threshold: int,
+                   processors_per_node: int) -> int:
+    """Which eager/rendezvous partition this threshold induces on the trace.
+
+    Two eager thresholds are interchangeable for a given trace exactly when
+    every send size classifies the same way under both (``size <= threshold``
+    is the engine's protocol test).  The partition is characterised by how
+    many of the trace's distinct send sizes fall on the eager side, so the
+    class is ``bisect_right(sorted distinct sizes, threshold)``.  Traces with
+    a defect get class ``-1`` (never groupable: they must fail through the
+    real engine).
+    """
+    facts = _trace_facts(trace, eager_threshold, processors_per_node)
+    if facts.defect is not None:
+        return -1
+    return bisect_right(facts.message_sizes, eager_threshold)
+
+
+def export_facts(trace: Trace, eager_threshold: int,
+                 processors_per_node: int) -> Optional[Tuple[Any, ...]]:
+    """A picklable row of this cell's window facts, or None without a digest.
+
+    The row round-trips through :func:`seed_facts` so a sweep parent can
+    classify each (trace, threshold, mapping) once and ship the proof to
+    every pool worker instead of each worker re-running the symbolic replay.
+    """
+    digest = getattr(trace, "_digest", None)
+    if digest is None:
+        return None
+    facts = _trace_facts(trace, eager_threshold, processors_per_node)
+    return (digest, eager_threshold, processors_per_node, facts.defect,
+            facts.num_windows, facts.window_internode,
+            facts.internode_messages, facts.intranode_messages,
+            facts.message_sizes)
+
+
+def seed_facts(rows) -> None:
+    """Adopt facts rows from :func:`export_facts` into the process memo."""
+    for row in rows:
+        if row is None:
+            continue
+        (digest, eager_threshold, processors_per_node, defect, num_windows,
+         window_internode, internode, intranode, message_sizes) = row
+        key = (digest, int(eager_threshold), int(processors_per_node))
+        if key in _FACTS_MEMO:
+            continue
+        if len(_FACTS_MEMO) >= _FACTS_MEMO_LIMIT:
+            _FACTS_MEMO.clear()
+        _FACTS_MEMO[key] = _TraceFacts(
+            defect=defect, num_windows=int(num_windows),
+            window_internode=tuple(window_internode),
+            internode_messages=int(internode),
+            intranode_messages=int(intranode),
+            message_sizes=tuple(message_sizes))
 
 
 def network_uncontended(platform: Platform) -> bool:

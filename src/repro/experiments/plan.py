@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.analysis import ORIGINAL
 from repro.core.chunking import ChunkingPolicy, FixedCountChunking, FixedSizeChunking
-from repro.core.executor import SweepTask, validate_variant_labels
+from repro.core.executor import CohortTask, SweepTask, validate_variant_labels
 from repro.core.mechanisms import OverlapMechanism
 from repro.core.patterns import ComputationPattern
 from repro.dimemas.platform import Platform
@@ -332,6 +332,63 @@ def analyze_tasks(plan: ExperimentPlan, tasks: Sequence[SweepTask],
                                          source=key))
     return AnalysisReport.merged(
         reports, metadata={"tasks": len(tasks), "traces": sorted(traces)})
+
+
+def group_cohorts(tasks: Sequence[SweepTask], traces: Dict[str, Trace],
+                  min_proven: int = 2) -> List[object]:
+    """Group missing sweep tasks into grid-vectorizable cohort batches.
+
+    Tasks sharing one trace variant and one structural signature (topology
+    shape, node mapping, collective model, eager protocol class -- see
+    :func:`repro.dimemas.gridreplay.cohort_signature`) become one
+    :class:`CohortTask`; everything else stays a per-cell task.  A group is
+    only batched when at least ``min_proven`` of its members are proven
+    exactly fast-forwardable -- below that the vectorized walk has nothing
+    to amortize, since non-proven members peel off to the per-cell path
+    inside the batch anyway.
+
+    The returned unit list is deterministic: units appear in the order of
+    their first task, and each cohort's members keep task order.  Grouping
+    never changes results -- only how many walks compute them -- because
+    every member keeps its own index, label and cache key.
+    """
+    from repro.dimemas.gridreplay import cohort_signature
+    from repro.dimemas.windows import classify
+
+    groups: Dict[Tuple, List[SweepTask]] = {}
+    placement: Dict[int, Optional[Tuple]] = {}
+    for task in tasks:
+        trace = traces.get(task.trace_key)
+        if task.collect_timeline or trace is None:
+            placement[task.index] = None
+            continue
+        signature = cohort_signature(trace, task.platform)
+        if signature is None:
+            placement[task.index] = None
+            continue
+        key = (task.trace_key, signature)
+        groups.setdefault(key, []).append(task)
+        placement[task.index] = key
+    for key, members in list(groups.items()):
+        trace = traces[members[0].trace_key]
+        proven = 0
+        for task in members:
+            if classify(trace, task.platform).proven_exact:
+                proven += 1
+                if proven >= min_proven:
+                    break
+        if proven < min_proven:
+            del groups[key]
+    units: List[object] = []
+    emitted = set()
+    for task in tasks:
+        key = placement.get(task.index)
+        if key is None or key not in groups:
+            units.append(task)
+        elif key not in emitted:
+            emitted.add(key)
+            units.append(CohortTask(tasks=tuple(groups[key])))
+    return units
 
 
 def plan_experiment(spec: ExperimentSpec,

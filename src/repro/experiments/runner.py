@@ -47,6 +47,7 @@ from repro.core.executor import SweepExecutor, SweepTask, SweepTaskResult
 from repro.core.mechanisms import OverlapMechanism
 from repro.dimemas.platform import Platform
 from repro.dimemas.results import SimulationResult
+from repro.dimemas.simulator import DimemasSimulator
 from repro.errors import TraceLintError
 from repro.experiments.plan import (  # noqa: F401  (re-exported legacy surface)
     ExperimentPlan,
@@ -57,6 +58,7 @@ from repro.experiments.plan import (  # noqa: F401  (re-exported legacy surface)
     build_platform,
     create_apps,
     expand_grid,
+    group_cohorts,
     plan_experiment,
     variant_plans,
 )
@@ -108,6 +110,18 @@ def _result_from_payload(task: SweepTask, payload: Dict[str, object]
         return None
     return SweepTaskResult(index=task.index, variant=task.variant,
                            point=task.point, worker_pid=os.getpid(), **kwargs)
+
+
+def _stock_simulator(environment: "OverlapStudyEnvironment") -> bool:
+    """Whether the environment replays through the stock simulator.
+
+    Cohort batching replays cells directly through :func:`replay_cohort`,
+    which is only equivalent to per-cell execution for the unmodified
+    :class:`DimemasSimulator`; injected test doubles or subclasses opt the
+    run out of grid vectorization entirely.
+    """
+    simulator = getattr(environment, "simulator", None)
+    return simulator is None or type(simulator) is DimemasSimulator
 
 
 def _resolve_store(store: Optional[ResultStore],
@@ -187,7 +201,8 @@ def run_experiment(spec: ExperimentSpec,
                    full_results: bool = False,
                    store: Optional[ResultStore] = None,
                    cache_dir: Optional[Union[str, Path]] = None,
-                   precheck: bool = True
+                   precheck: bool = True,
+                   grid_cohorts: bool = True
                    ) -> ExperimentResult:
     """Execute ``spec`` and return the typed result.
 
@@ -213,6 +228,12 @@ def run_experiment(spec: ExperimentSpec,
     pass ``precheck=False`` to opt out (e.g. to reproduce a runtime failure).
     The traces are the ones execution needs anyway, so a clean precheck
     costs no extra tracing or transformation.
+
+    ``grid_cohorts`` (the default) groups the missing adaptive-backend tasks
+    into vectorizable platform cohorts so one pass over each trace evaluates
+    a whole grid slice at once; results are reassembled by task index and
+    are bit-identical to the per-cell path.  Full-results runs and custom
+    simulators always fall back to per-cell execution.
     """
     full_results = full_results or spec.collect_timelines
     store = _resolve_store(store, cache_dir)
@@ -252,8 +273,11 @@ def run_experiment(spec: ExperimentSpec,
                 f"replay started ({report.summary()}; rerun with "
                 f"precheck=False / --no-precheck to bypass):\n"
                 + report.render_text(), report=report)
+    units: Sequence[object] = missing
+    if grid_cohorts and not full_results and _stock_simulator(environment):
+        units = group_cohorts(missing, traces)
     raw = executor.execute(
-        missing, traces, full_results=full_results,
+        units, traces, full_results=full_results,
         simulator=environment.simulator,
         store=store if use_cache else None,
         cache_keys=({task.index: keys[task.index] for task in missing}
@@ -267,7 +291,9 @@ def run_experiment(spec: ExperimentSpec,
                         for task, result in zip(plan.tasks, raw)]
     else:
         simulation_results = None
-        fresh = {task.index: result for task, result in zip(missing, raw)}
+        # Cohort batches may reorder execution, so the merge keys on the
+        # index carried by each result rather than on submission order.
+        fresh = {result.index: result for result in raw}
         task_results = [cached[index] if index in cached else fresh[index]
                         for index in range(len(plan.tasks))]
 

@@ -40,7 +40,9 @@ from repro.dimemas.config import PLATFORM_FIELDS
 from repro.dimemas.platform import Platform
 
 #: Bump to invalidate every stored result (schema or semantics change).
-STORE_FORMAT = 1
+#: 2: adaptive fast-forward replays flush network statistics in canonical
+#: (src, dst, tag, pair) order, changing ``mean_transfer_time`` bytes.
+STORE_FORMAT = 2
 
 #: Canonical variant id of the non-overlapped execution.
 ORIGINAL_VARIANT = "original"

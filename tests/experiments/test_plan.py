@@ -118,3 +118,53 @@ class TestPreview:
         run_experiment(SPEC, store=store)
         warm = preview_experiment(SPEC, store=store)
         assert warm.statuses == ["hit"] * 4 and warm.hits == 4
+
+
+class TestCohortGrouping:
+    """group_cohorts batches adaptive grid slices; everything else is inert."""
+
+    ADAPTIVE_SPEC = ExperimentSpec(
+        apps=("sancho-loop",),
+        app_options={"num_ranks": 4, "iterations": 2},
+        bandwidths=(50.0, 500.0, 5000.0),
+        chunking={"policy": "fixed-count", "count": 4},
+        platform={"replay_backend": "adaptive", "num_buses": 0,
+                  "input_links": 0, "output_links": 0})
+
+    def test_adaptive_grid_becomes_one_cohort_per_variant(self):
+        from repro.core.executor import CohortTask
+        from repro.experiments.plan import group_cohorts
+
+        plan = plan_experiment(self.ADAPTIVE_SPEC)
+        traces = plan.traces_for(plan.tasks)
+        units = group_cohorts(plan.tasks, traces)
+        cohorts = [unit for unit in units if isinstance(unit, CohortTask)]
+        assert len(cohorts) == len(plan.variant_labels)
+        assert all(cohort.width == 3 for cohort in cohorts)
+        grouped = {task.index for cohort in cohorts for task in cohort.tasks}
+        assert grouped == {task.index for task in plan.tasks}
+
+    def test_default_event_backend_stays_per_cell(self):
+        from repro.experiments.plan import group_cohorts
+
+        plan = plan_experiment(SPEC)
+        traces = plan.traces_for(plan.tasks)
+        assert group_cohorts(plan.tasks, traces) == list(plan.tasks)
+
+    def test_demotes_below_min_proven(self):
+        from repro.experiments.plan import group_cohorts
+
+        plan = plan_experiment(self.ADAPTIVE_SPEC)
+        traces = plan.traces_for(plan.tasks)
+        units = group_cohorts(plan.tasks, traces, min_proven=4)
+        assert units == list(plan.tasks)
+
+    def test_grid_run_matches_per_cell_run(self):
+        def stable(result):
+            return [{key: value for key, value in row.items()
+                     if key != "task_seconds"}
+                    for row in result.to_rows()]
+
+        grid = run_experiment(self.ADAPTIVE_SPEC, grid_cohorts=True)
+        cell = run_experiment(self.ADAPTIVE_SPEC, grid_cohorts=False)
+        assert stable(grid) == stable(cell)
